@@ -1,0 +1,100 @@
+// Command metablade regenerates the paper's evaluation: every table
+// (1–7) and Figure 3, from the simulated Bladed Beowulf and its
+// comparison machines.
+//
+// Usage:
+//
+//	metablade -table 1        # one table
+//	metablade -figure 3       # the N-body density rendering
+//	metablade -all            # everything
+//	metablade -table 3 -class W
+//	metablade -table 2 -particles 60000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/nas"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1..7)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (3)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	class := flag.String("class", "W", "NPB class for table 3 (S, W, A)")
+	particles := flag.Int("particles", 0, "particle count override for table 2 / figure 3")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(n int) bool { return *all || *table == n }
+
+	if run(1) {
+		_, t, err := core.Table1()
+		check(err)
+		fmt.Println(t)
+	}
+	if run(2) {
+		cfg := core.DefaultTable2Config()
+		if *particles > 0 {
+			cfg.Particles = *particles
+		}
+		_, t, err := core.Table2(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+	if run(3) {
+		_, t, err := core.Table3(nas.Class((*class)[0]))
+		check(err)
+		fmt.Println(t)
+	}
+	if run(4) {
+		_, t, err := core.Table4()
+		check(err)
+		fmt.Println(t)
+	}
+	if run(5) {
+		_, t, err := core.Table5()
+		check(err)
+		fmt.Println(t)
+		s, err := core.ToPPeR()
+		check(err)
+		fmt.Printf("ToPPeR (TCO $/Mflops): traditional %.2f vs blade %.2f — advantage %.2fx\n",
+			s.TradToPPeR, s.BladeToPPeR, s.ToPPeRAdvantage)
+		fmt.Printf("Acquisition price/perf: traditional %.2f vs blade %.2f (blade costs %.2fx more per Mflops to acquire)\n\n",
+			s.TradPricePerf, s.BladePricePerf, s.PricePerfRatio)
+	}
+	if run(6) || run(7) {
+		_, t6, t7, err := core.SpacePower()
+		check(err)
+		if run(6) {
+			fmt.Println(t6)
+		}
+		if run(7) {
+			fmt.Println(t7)
+		}
+	}
+	if *all || *figure == 3 {
+		cfg := core.DefaultFigure3Config()
+		if *particles > 0 {
+			cfg.Particles = *particles
+		}
+		img, sys, err := core.Figure3(cfg)
+		check(err)
+		fmt.Printf("Figure 3: projected density after %d steps of a %d-particle collapse (%d interactions computed)\n",
+			cfg.Steps, cfg.Particles, sys.Interactions)
+		fmt.Println(img.ASCII())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metablade:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command nasbench runs the NAS Parallel Benchmark kernels, verifies
+// them, and rates them on the paper's four processors.
+//
+// Usage:
+//
+//	nasbench                    # all kernels, class S
+//	nasbench -class W           # the paper's Table 3 size
+//	nasbench -kernel EP -class W
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/nas"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "run one kernel (BT, SP, LU, MG, EP, IS, CG); empty = all")
+	class := flag.String("class", "S", "problem class (S, W, A)")
+	rate := flag.Bool("rate", true, "rate on the Table 3 processors")
+	flag.Parse()
+
+	var costs []cpu.EffCosts
+	var procs []cpu.Processor
+	if *rate {
+		procs = cpu.NASCPUs()
+		for _, p := range procs {
+			e, err := cpu.CalibrateFor(p, cpu.MissRateClassW)
+			check(err)
+			costs = append(costs, e)
+		}
+	}
+
+	ks := nas.AllKernels()
+	header := fmt.Sprintf("%-4s %-6s %-9s %-14s %-12s", "Code", "Class", "Verified", "Checksum", "Wall")
+	for _, p := range procs {
+		header += fmt.Sprintf(" %18s", shortName(p.Name()))
+	}
+	fmt.Println(header)
+	for _, k := range ks {
+		if *kernel != "" && !strings.EqualFold(k.Name(), *kernel) {
+			continue
+		}
+		t0 := time.Now()
+		r, err := k.Run(nas.Class((*class)[0]))
+		check(err)
+		line := fmt.Sprintf("%-4s %-6s %-9v %-14.6g %-12v",
+			r.Kernel, r.Class, r.Verified, r.Checksum, time.Since(t0).Round(time.Millisecond))
+		for i := range procs {
+			line += fmt.Sprintf(" %15.1f Mops", costs[i].Mops(r.Ops, &r.Mix))
+		}
+		fmt.Println(line)
+	}
+}
+
+func shortName(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) > 2 {
+		return strings.Join(fields[1:], " ")
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nasbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command nbodysim runs gravitational N-body simulations with the
+// treecode library: serial or on a simulated Bladed Beowulf, direct or
+// tree-accelerated, with energy diagnostics and density renderings.
+//
+// Usage:
+//
+//	nbodysim -n 20000 -steps 20 -theta 0.7
+//	nbodysim -n 2000 -direct -steps 10
+//	nbodysim -n 30000 -ranks 24 -render out.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/mpi"
+	"repro/internal/nbody"
+	"repro/internal/netsim"
+	"repro/internal/treecode"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "particle count")
+	steps := flag.Int("steps", 10, "leapfrog steps")
+	dt := flag.Float64("dt", 0.005, "time step")
+	theta := flag.Float64("theta", 0.7, "multipole acceptance parameter")
+	direct := flag.Bool("direct", false, "use O(N²) direct summation instead of the treecode")
+	quad := flag.Bool("quadrupole", false, "use quadrupole moments")
+	ranks := flag.Int("ranks", 0, "simulate a parallel run on this many TM5600 blades (0 = serial)")
+	render := flag.String("render", "", "write a PGM density rendering to this file")
+	ascii := flag.Bool("ascii", false, "print an ASCII density rendering")
+	flag.Parse()
+
+	s := nbody.NewPlummer(*n, 1, 2001)
+	k0, p0 := 0.0, 0.0
+	if *n <= 20000 {
+		k0, p0 = s.Energy()
+	}
+
+	var forcer nbody.Forcer
+	switch {
+	case *direct:
+		forcer = nbody.DirectForcer{}
+	case *ranks > 0:
+		costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateTree)
+		check(err)
+		cm := treecode.CostModel{
+			SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
+			SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
+		}
+		forcer = &parallelForcer{ranks: *ranks, cfg: treecode.ParallelConfig{
+			Theta: *theta, Quadrupole: *quad, Eps: s.Eps, Cost: cm,
+		}}
+	default:
+		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad}
+	}
+
+	check(s.Leapfrog(forcer, *dt, *steps))
+	fmt.Printf("%d particles, %d steps: %d interactions, %.3g flops (treecode convention)\n",
+		*n, *steps, s.Interactions, float64(s.Flops()))
+	if pf, ok := forcer.(*parallelForcer); ok {
+		fmt.Printf("simulated MetaBlade time: %.3f s over %d blades → %.2f Gflops sustained\n",
+			pf.simTime, *ranks, float64(s.Flops())/pf.simTime/1e9)
+	}
+	if k0 != 0 || p0 != 0 {
+		k1, p1 := s.Energy()
+		fmt.Printf("energy drift: |ΔE/E| = %.2e\n", abs((k1+p1-k0-p0)/(k0+p0)))
+	}
+
+	if *render != "" || *ascii {
+		img, err := nbody.RenderAuto(s, 72, 36)
+		check(err)
+		if *ascii {
+			fmt.Println(img.ASCII())
+		}
+		if *render != "" {
+			f, err := os.Create(*render)
+			check(err)
+			check(img.WritePGM(f))
+			check(f.Close())
+			fmt.Println("wrote", *render)
+		}
+	}
+}
+
+// parallelForcer adapts treecode.ParallelForces to nbody.Forcer,
+// accumulating simulated cluster time across steps.
+type parallelForcer struct {
+	ranks   int
+	cfg     treecode.ParallelConfig
+	simTime float64
+}
+
+func (p *parallelForcer) Forces(s *nbody.System) error {
+	w, err := mpi.NewWorld(p.ranks, netsim.FastEthernet())
+	if err != nil {
+		return err
+	}
+	res, err := treecode.ParallelForces(w, s, p.cfg)
+	if err != nil {
+		return err
+	}
+	p.simTime += res.SimTime
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbodysim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Command toppercalc evaluates the paper's cost model — TCO and ToPPeR —
+// for a user-described cluster, so the §4 analysis can be repeated with
+// your own numbers.
+//
+// Usage:
+//
+//	toppercalc -nodes 24 -watts 85 -acquisition 17000 -gflops 2.8
+//	toppercalc -blade -nodes 240 -watts 15 -acquisition 260000 -gflops 36
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/tco"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 24, "compute node count")
+	watts := flag.Float64("watts", 85, "per-node power draw under load (W)")
+	acq := flag.Float64("acquisition", 17000, "acquisition cost (hardware + software, $)")
+	gflops := flag.Float64("gflops", 2.8, "delivered performance (Gflops)")
+	blade := flag.Bool("blade", false, "bladed packaging (RLX-style chassis, no active cooling, managed)")
+	ambient := flag.Float64("ambient", 24, "machine-room ambient temperature (°C)")
+	years := flag.Float64("years", 4, "operational lifetime (years)")
+	kwh := flag.Float64("kwh", 0.10, "electricity rate ($/kWh)")
+	space := flag.Float64("space", 100, "floor-space lease rate ($/ft²/year)")
+	cpuHour := flag.Float64("cpuhour", 5, "downtime charge ($/CPU-hour)")
+	flag.Parse()
+
+	node := cluster.NodeSpec{
+		Name:                  "custom node",
+		CPUModel:              "custom",
+		WattsLoad:             *watts,
+		RequiresActiveCooling: !*blade,
+	}
+	pack := cluster.TraditionalPackaging()
+	admin := tco.TraditionalAdmin()
+	outages := tco.TraditionalOutages()
+	if *blade {
+		pack = cluster.BladePackaging()
+		admin = tco.BladeAdmin()
+		outages = tco.BladeOutages()
+	}
+	cl, err := cluster.New("custom", node, pack, *nodes, *ambient)
+	check(err)
+
+	rates := tco.Rates{
+		AdminPerHour:       100,
+		ElectricityPerKWh:  *kwh,
+		SpacePerSqFtYear:   *space,
+		DowntimePerCPUHour: *cpuHour,
+		Years:              *years,
+	}
+	b, err := tco.Compute(tco.Config{
+		Name:           "custom",
+		AcquisitionUSD: *acq,
+		Cluster:        cl,
+		Admin:          admin,
+		Outages:        outages,
+	}, rates)
+	check(err)
+
+	rel := cluster.DefaultReliability()
+	fmt.Printf("Cluster: %d nodes, %.1f kW compute + %.1f kW cooling, %.0f ft², %s\n",
+		*nodes, cl.ComputePowerKW(), cl.CoolingPowerKW(), cl.FootprintSqFt(), pack.Name)
+	fmt.Printf("Reliability model: %.1f expected failures/year, availability %.4f\n\n",
+		cl.ExpectedFailuresPerYear(rel), cl.Availability(rel))
+	fmt.Printf("%-18s $%10.0f\n", "Acquisition", b.Acquisition)
+	fmt.Printf("%-18s $%10.0f\n", "System admin", b.SysAdmin)
+	fmt.Printf("%-18s $%10.0f\n", "Power & cooling", b.PowerCooling)
+	fmt.Printf("%-18s $%10.0f\n", "Space", b.Space)
+	fmt.Printf("%-18s $%10.0f\n", "Downtime", b.Downtime)
+	fmt.Printf("%-18s $%10.0f\n\n", "TCO", b.TCO())
+	fmt.Printf("Price/performance (acquisition): $%.2f per Mflops\n", tco.PricePerf(b.Acquisition, *gflops))
+	fmt.Printf("ToPPeR (total price-performance): $%.2f per Mflops\n", tco.ToPPeR(b.TCO(), *gflops))
+	fmt.Printf("Performance/space: %.1f Mflops/ft²\n", tco.PerfPerSpace(*gflops, cl.FootprintSqFt()))
+	fmt.Printf("Performance/power: %.2f Gflops/kW\n", tco.PerfPerPower(*gflops, cl.TotalPowerKW()))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "toppercalc:", err)
+		os.Exit(1)
+	}
+}

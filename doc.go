@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Honey, I Shrunk
+// the Beowulf!" (Feng, Warren, Weigle — ICPP 2002): the MetaBlade Bladed
+// Beowulf, its Transmeta Crusoe processors (Code Morphing Software over a
+// VLIW engine), the comparison processors, the cluster's physical and
+// cost models, and the full evaluation — the gravitational microkernel,
+// parallel treecode N-body simulation, NAS Parallel Benchmarks, and the
+// TCO/ToPPeR/performance-per-space/performance-per-power analyses.
+//
+// The library lives under internal/; the executables under cmd/ and
+// examples/ are the public surface. bench_test.go regenerates every
+// table and figure of the paper — see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for paper-versus-measured results.
+package repro

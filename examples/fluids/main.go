@@ -1,0 +1,72 @@
+// fluids demonstrates the paper's §3.5.1 point about the treecode as a
+// library: "only 2000 lines of code external to the library are required
+// to implement a gravitational N-body simulation. The vortex particle
+// method requires only 2500 lines interfaced to the same treecode
+// library. Smoothed particle hydrodynamics takes 3000 lines." Here the
+// same octree drives a self-advecting vortex ring (Biot–Savart through
+// component trees) and an adiabatically expanding SPH gas ball
+// (tree-range-query neighbour finding).
+//
+//	go run ./examples/fluids
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/nbody"
+	"repro/internal/sph"
+	"repro/internal/vortex"
+)
+
+func main() {
+	fmt.Println("=== Vortex particle method on the treecode (Biot–Savart) ===")
+	ring := vortex.Ring(96, 1.0, 1.0)
+	z0 := 0.0
+	for step := 0; step <= 30; step++ {
+		if step%10 == 0 {
+			z := 0.0
+			for i := 0; i < ring.N(); i++ {
+				z += ring.Z[i]
+			}
+			z /= float64(ring.N())
+			if step == 0 {
+				z0 = z
+			}
+			fmt.Printf("  step %2d: ring at z = %+.4f (moved %+.4f)\n", step, z, z-z0)
+		}
+		if step < 30 {
+			if err := ring.Step(0.02, 0.5); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("  → the ring self-advects along its axis, radius preserved (the classic smoke ring)")
+
+	fmt.Println()
+	fmt.Println("=== Smoothed particle hydrodynamics on the treecode (range queries) ===")
+	s := nbody.NewPlummer(800, 0.3, 7)
+	for i := range s.VX {
+		s.VX[i], s.VY[i], s.VZ[i] = 0, 0, 0
+	}
+	gas, err := sph.NewGas(s, 0.1, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e0 := gas.ThermalEnergy() + gas.KineticEnergy()
+	for step := 0; step <= 30; step++ {
+		if step%10 == 0 {
+			eth, ek := gas.ThermalEnergy(), gas.KineticEnergy()
+			fmt.Printf("  step %2d: thermal %.4f  kinetic %.4f  total %.4f  (⟨neighbours⟩ %.0f)\n",
+				step, eth, ek, eth+ek, gas.NeighborCount)
+		}
+		if step < 30 {
+			if err := gas.Step(0.002); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	e1 := gas.ThermalEnergy() + gas.KineticEnergy()
+	fmt.Printf("  → hot ball expands: thermal → kinetic, total drift %.2f%% (adiabatic)\n",
+		100*(e1-e0)/e0)
+}

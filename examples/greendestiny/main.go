@@ -1,0 +1,77 @@
+// greendestiny is the scale-up study behind the paper's footnote 5 and
+// conclusion: grow the 24-blade MetaBlade into the 240-blade Green
+// Destiny ("a cluster in a rack") and compare space, power, reliability
+// and cost against a traditional cluster of the same node count.
+//
+//	go run ./examples/greendestiny
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/tco"
+)
+
+func main() {
+	rates := tco.PaperRates()
+	rel := cluster.DefaultReliability()
+
+	fmt.Println("Scaling the Bladed Beowulf: 24 → 240 nodes")
+	fmt.Println()
+	fmt.Printf("%-22s %8s %10s %10s %12s %14s\n",
+		"Cluster", "Nodes", "Area ft²", "Power kW", "Failures/yr", "4-yr space $")
+	show := func(name string, c *cluster.Cluster) {
+		spaceCost := c.FootprintSqFt() * rates.SpacePerSqFtYear * rates.Years
+		fmt.Printf("%-22s %8d %10.0f %10.2f %12.1f %14.0f\n",
+			name, c.Nodes, c.FootprintSqFt(), c.TotalPowerKW(),
+			c.ExpectedFailuresPerYear(rel), spaceCost)
+	}
+
+	mb, err := cluster.New("MetaBlade", cluster.NodeTM5600, cluster.BladePackaging(), 24, 27)
+	check(err)
+	gd, err := cluster.New("Green Destiny", cluster.NodeTM5800, cluster.BladePackaging(), 240, 27)
+	check(err)
+	trad24, err := cluster.New("traditional-24", cluster.NodeP4, cluster.TraditionalPackaging(), 24, 24)
+	check(err)
+	trad240, err := cluster.New("traditional-240", cluster.NodeP4, cluster.TraditionalPackaging(), 240, 24)
+	check(err)
+	show("MetaBlade (24)", mb)
+	show("traditional (24)", trad24)
+	show("Green Destiny (240)", gd)
+	show("traditional (240)", trad240)
+
+	gdSpace := gd.FootprintSqFt() * rates.SpacePerSqFtYear * rates.Years
+	tradSpace := trad240.FootprintSqFt() * rates.SpacePerSqFtYear * rates.Years
+	fmt.Printf("\nFootnote 5 check: at 240 nodes the blade space cost stays $%.0f while the\n"+
+		"traditional cluster's grows to $%.0f — %.0fx more expensive.\n",
+		gdSpace, tradSpace, tradSpace/gdSpace)
+
+	// Reliability side: simulated failures over the four-year lifetime.
+	studies, err := core.StudyAvailability(4, 2002)
+	check(err)
+	fmt.Println("\nReliability simulation over the 4-year lifetime (24 nodes):")
+	for _, s := range studies {
+		fmt.Printf("  %-18s %.1f failures/yr, %6.0f lost CPU-hours, availability %.5f, downtime cost $%.0f\n",
+			s.Name, s.FailuresPerYear, s.LostCPUHours, s.Availability, s.DowntimeCostUSD)
+	}
+
+	// Performance side: Green Destiny's projected treecode rating.
+	rate58, err := core.TreecodeRate(cpu.NewTM5800(), 20000)
+	check(err)
+	gdGflops := rate58 * 0.78 * 240 / 1000
+	fmt.Printf("\nProjected Green Destiny treecode performance: %.1f Gflops in %0.f ft² and %.1f kW\n",
+		gdGflops, gd.FootprintSqFt(), gd.TotalPowerKW())
+	fmt.Printf("  → %.0f Mflops/ft², %.1f Gflops/kW\n",
+		tco.PerfPerSpace(gdGflops, gd.FootprintSqFt()),
+		tco.PerfPerPower(gdGflops, gd.TotalPowerKW()))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

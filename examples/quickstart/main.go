@@ -1,0 +1,75 @@
+// Quickstart: the library in one tour — simulate a Transmeta blade
+// running x86 code through Code Morphing Software, benchmark it against
+// a Pentium III, assemble the 24-blade MetaBlade cluster, and compute
+// the paper's headline metric, ToPPeR.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+	"repro/internal/tco"
+)
+
+func main() {
+	// 1. Run the paper's gravitational microkernel (Karp reciprocal-sqrt
+	//    variant) on a simulated TM5600: CMS interprets the x86 stream,
+	//    translates the hot loop into VLIW molecules, and executes it
+	//    natively.
+	tm := cpu.NewTM5600()
+	g := kernels.DefaultGravMicro(kernels.GravKarp)
+	prog, st, err := g.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tm.RunKernel(prog, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TM5600 (CMS+VLIW simulation): %.1f Mflops on the Karp-sqrt microkernel\n", res.Mflops())
+
+	// 2. The same binary on a Pentium III model for comparison.
+	piii := cpu.PentiumIII500().AsProcessor()
+	prog, st, err = g.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := piii.RunKernel(prog, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pentium III 500 (trace-driven model): %.1f Mflops on the same kernel\n\n", res2.Mflops())
+
+	// 3. Assemble MetaBlade: 24 TM5600 ServerBlades in a 3U RLX chassis.
+	mb, err := cluster.New("MetaBlade", cluster.NodeTM5600, cluster.BladePackaging(), 24, 27)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MetaBlade: %d blades in %d chassis, %.0f ft², %.2f kW (no active cooling)\n",
+		mb.Nodes, mb.Chassis(), mb.FootprintSqFt(), mb.TotalPowerKW())
+
+	// 4. Total cost of ownership and ToPPeR versus a traditional cluster.
+	cfgs, err := tco.PaperTable5Configs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates := tco.PaperRates()
+	for _, cfg := range cfgs {
+		if cfg.Name != "PIII" && cfg.Name != "TM5600" {
+			continue
+		}
+		b, err := tco.Compute(cfg, rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s acquisition $%6.0fK, 4-year TCO $%6.0fK\n",
+			cfg.Name, b.Acquisition/1000, b.TCO()/1000)
+	}
+	fmt.Println("\nThe blade costs more to buy and three times less to own —")
+	fmt.Println("run `go run ./cmd/metablade -all` for the full evaluation.")
+}

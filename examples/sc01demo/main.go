@@ -1,0 +1,103 @@
+// sc01demo replays the paper's §3.3 SC'01 demonstration: a gravitational
+// N-body simulation on the 24 simulated MetaBlade blades, reporting the
+// sustained Gflop rating, the fraction of peak, and the Figure 3 density
+// rendering. (The original ran 9,753,824 particles for ~1000 steps; the
+// default here is scaled down so the demo finishes in seconds — raise
+// -n and -steps to taste.)
+//
+//	go run ./examples/sc01demo
+//	go run ./examples/sc01demo -n 200000 -steps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/mpi"
+	"repro/internal/nbody"
+	"repro/internal/netsim"
+	"repro/internal/treecode"
+)
+
+func main() {
+	n := flag.Int("n", 60000, "particle count (the SC'01 run used 9,753,824)")
+	steps := flag.Int("steps", 8, "leapfrog steps (the SC'01 run used ~1000)")
+	blades := flag.Int("blades", 24, "ServerBlades in the chassis")
+	render := flag.String("render", "", "write the Figure 3 PGM here")
+	flag.Parse()
+
+	fmt.Printf("SC'01 demo replay: %d particles on %d simulated TM5600 blades over 100 Mb/s Fast Ethernet\n",
+		*n, *blades)
+
+	costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm := treecode.CostModel{
+		SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
+		SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
+	}
+
+	s := nbody.NewPlummer(*n, 1, 2001)
+	for i := range s.VX {
+		s.VX[i] *= 0.3
+		s.VY[i] *= 0.3
+		s.VZ[i] *= 0.3
+	}
+
+	var simTime float64
+	var flops uint64
+	forcer := forcerFunc(func(sys *nbody.System) error {
+		w, err := mpi.NewWorld(*blades, netsim.FastEthernet())
+		if err != nil {
+			return err
+		}
+		res, err := treecode.ParallelForces(w, sys, treecode.ParallelConfig{
+			Theta: 0.7, Eps: sys.Eps, Cost: cm,
+		})
+		if err != nil {
+			return err
+		}
+		simTime += res.SimTime
+		flops += res.Stats.Flops()
+		return nil
+	})
+	if err := s.Leapfrog(forcer, 0.01, *steps); err != nil {
+		log.Fatal(err)
+	}
+
+	sustained := float64(flops) / simTime / 1e9
+	// Peak: the paper rates the 24-blade chassis at 15.2 Gflops
+	// (633 MHz × 1 flop/cycle × 24 ≈ 15.2).
+	peak := 633e6 * float64(*blades) / 1e9
+	fmt.Printf("completed %.3g flops in %.2f simulated seconds\n", float64(flops), simTime)
+	fmt.Printf("sustained %.2f Gflops = %.0f%% of the %.1f Gflops peak (paper: 2.1 Gflops, 14%%)\n",
+		sustained, 100*sustained/peak, peak)
+
+	img, err := nbody.RenderAuto(s, 72, 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigure 3 — intermediate stage of the gravitational collapse:")
+	fmt.Println(img.ASCII())
+	if *render != "" {
+		f, err := os.Create(*render)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := img.WritePGM(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *render)
+	}
+}
+
+type forcerFunc func(*nbody.System) error
+
+func (f forcerFunc) Forces(s *nbody.System) error { return f(s) }

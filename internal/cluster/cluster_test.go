@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func metaBlade(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New("MetaBlade", NodeTM5600, BladePackaging(), 24, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func traditional(t *testing.T, node NodeSpec) *Cluster {
+	t.Helper()
+	c, err := New("traditional", node, TraditionalPackaging(), 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("x", NodeTM5600, BladePackaging(), 0, 24); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad := NodeTM5600
+	bad.WattsLoad = 0
+	if _, err := New("x", bad, BladePackaging(), 24, 24); err == nil {
+		t.Error("zero power accepted")
+	}
+	badPack := BladePackaging()
+	badPack.FootprintPerRack = 0
+	if _, err := New("x", NodeTM5600, badPack, 24, 24); err == nil {
+		t.Error("zero footprint accepted")
+	}
+}
+
+func TestMetaBladeGeometry(t *testing.T) {
+	c := metaBlade(t)
+	if c.Chassis() != 1 {
+		t.Fatalf("Chassis = %d, want 1 (24 blades per 3U chassis)", c.Chassis())
+	}
+	if c.Racks() != 1 {
+		t.Fatalf("Racks = %d", c.Racks())
+	}
+	if c.FootprintSqFt() != 6 {
+		t.Fatalf("Footprint = %v ft², paper says 6", c.FootprintSqFt())
+	}
+}
+
+func TestGreenDestinyGeometry(t *testing.T) {
+	// 240 nodes = 10 chassis = 30U: one rack, still six square feet —
+	// the "cluster in a rack" the paper's footnote 5 describes.
+	c, err := New("Green Destiny", NodeTM5800, BladePackaging(), 240, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Chassis() != 10 {
+		t.Fatalf("Chassis = %d, want 10", c.Chassis())
+	}
+	if c.Racks() != 1 {
+		t.Fatalf("Racks = %d, want 1 (10 × 3U fits a 42U rack)", c.Racks())
+	}
+	if c.FootprintSqFt() != 6 {
+		t.Fatalf("Footprint = %v, want 6", c.FootprintSqFt())
+	}
+}
+
+func TestTraditionalFootprintLarger(t *testing.T) {
+	trad := traditional(t, NodeP4)
+	blade := metaBlade(t)
+	if trad.FootprintSqFt() <= blade.FootprintSqFt() {
+		t.Fatalf("traditional %v ft² not larger than blade %v ft²", trad.FootprintSqFt(), blade.FootprintSqFt())
+	}
+	if trad.FootprintSqFt() != 20 {
+		t.Fatalf("24-node traditional = %v ft², paper says 20", trad.FootprintSqFt())
+	}
+}
+
+func TestMetaBladePowerMatchesPaper(t *testing.T) {
+	// Paper: "our 24-node MetaBlade ... dissipates 0.4 kW at load and
+	// requires no fans or active cooling".
+	c := metaBlade(t)
+	if p := c.ComputePowerKW(); math.Abs(p-0.52) > 0.15 {
+		t.Fatalf("MetaBlade compute power %v kW, want ≈0.5", p)
+	}
+	if c.CoolingPowerKW() != 0 {
+		t.Fatalf("blade cooling power %v, want 0", c.CoolingPowerKW())
+	}
+}
+
+func TestP4ClusterPowerMatchesPaper(t *testing.T) {
+	// Paper: a P4 node ≈85 W ⇒ 2.04 kW for 24 nodes; cooling pushes the
+	// total 50% higher.
+	c := traditional(t, NodeP4)
+	if p := c.ComputePowerKW(); math.Abs(p-2.04) > 0.15 {
+		t.Fatalf("P4 cluster %v kW, want ≈2.04", p)
+	}
+	if r := c.TotalPowerKW() / c.ComputePowerKW(); math.Abs(r-1.5) > 1e-9 {
+		t.Fatalf("cooling multiplier %v, want 1.5", r)
+	}
+}
+
+func TestFailureRateDoublesPer10C(t *testing.T) {
+	r := DefaultReliability()
+	c := metaBlade(t)
+	c.AmbientC = r.BaseTempC - 0.25*c.Node.WattsLoad // node temp == base
+	base := c.ExpectedFailuresPerYear(r)
+	c.AmbientC += 10
+	hot := c.ExpectedFailuresPerYear(r)
+	if math.Abs(hot/base-2) > 1e-9 {
+		t.Fatalf("failure rate ratio %v per +10°C, want 2", hot/base)
+	}
+}
+
+func TestBladeFailsLessThanTraditionalAtSameAmbient(t *testing.T) {
+	// Lower power ⇒ cooler components ⇒ fewer failures, even in the
+	// paper's dustier, warmer blade environment (80 °F vs 75 °F).
+	r := DefaultReliability()
+	blade := metaBlade(t) // 27 °C ambient (80 °F)
+	trad := traditional(t, NodeP4)
+	trad.AmbientC = 24 // 75 °F office
+	if blade.ExpectedFailuresPerYear(r) >= trad.ExpectedFailuresPerYear(r) {
+		t.Fatalf("blade failures/yr %v not below traditional %v",
+			blade.ExpectedFailuresPerYear(r), trad.ExpectedFailuresPerYear(r))
+	}
+}
+
+func TestTraditionalDowntimeMatchesPaperAnecdote(t *testing.T) {
+	// Paper: traditional Beowulf fails every two months with a 4-hour
+	// outage ⇒ ~24 h/year of downtime.
+	r := DefaultReliability()
+	trad := traditional(t, NodeP4)
+	trad.AmbientC = 24
+	down := trad.ExpectedDowntimeHoursPerYear(r)
+	if down < 12 || down > 48 {
+		t.Fatalf("traditional downtime %v h/yr, want ≈24", down)
+	}
+}
+
+func TestAvailabilityInRange(t *testing.T) {
+	r := DefaultReliability()
+	for _, c := range []*Cluster{metaBlade(t), traditional(t, NodeP4)} {
+		a := c.Availability(r)
+		if a <= 0.9 || a > 1 {
+			t.Fatalf("%s availability %v out of plausible range", c.Name, a)
+		}
+	}
+}
+
+func TestFailureSimMatchesExpectation(t *testing.T) {
+	// The discrete-event simulation must agree with the closed form
+	// within sampling error over many years.
+	r := DefaultReliability()
+	c := traditional(t, NodeP4)
+	c.AmbientC = 24
+	years := 200.0
+	fails, down := c.FailureSim(r, years, 42)
+	wantFails := c.ExpectedFailuresPerYear(r) * years
+	if math.Abs(float64(fails)-wantFails)/wantFails > 0.15 {
+		t.Fatalf("sim failures %d vs expected %.0f", fails, wantFails)
+	}
+	wantDown := c.ExpectedDowntimeHoursPerYear(r) * years
+	if math.Abs(down-wantDown)/wantDown > 0.15 {
+		t.Fatalf("sim downtime %v vs expected %v", down, wantDown)
+	}
+}
+
+func TestFailureSimDeterministicPerSeed(t *testing.T) {
+	r := DefaultReliability()
+	c := metaBlade(t)
+	f1, d1 := c.FailureSim(r, 50, 7)
+	f2, d2 := c.FailureSim(r, 50, 7)
+	if f1 != f2 || d1 != d2 {
+		t.Fatal("same seed gave different results")
+	}
+	f3, _ := c.FailureSim(r, 50, 8)
+	if f1 == f3 {
+		t.Log("different seeds coincided (possible but unlikely); not fatal")
+	}
+}
+
+func TestChassisOverheadCounted(t *testing.T) {
+	with, _ := New("x", NodeTM5600, BladePackaging(), 24, 24)
+	packNo := BladePackaging()
+	packNo.ChassisOverheadWatts = 0
+	without, _ := New("y", NodeTM5600, packNo, 24, 24)
+	if with.ComputePowerKW() <= without.ComputePowerKW() {
+		t.Fatal("chassis overhead not charged")
+	}
+}
+
+func TestMultiRackGeometry(t *testing.T) {
+	// 480 blades = 20 chassis = 60U → 2 racks, 12 ft².
+	c, err := New("2 racks", NodeTM5800, BladePackaging(), 480, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Racks() != 2 {
+		t.Fatalf("Racks = %d, want 2", c.Racks())
+	}
+	if c.FootprintSqFt() != 12 {
+		t.Fatalf("Footprint = %v, want 12", c.FootprintSqFt())
+	}
+}

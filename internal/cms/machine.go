@@ -1,0 +1,287 @@
+package cms
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vliw"
+)
+
+// Params are the CMS runtime cost knobs. Defaults follow the behaviour
+// described for CMS 4.x: interpretation costs tens of cycles per x86
+// instruction, translation costs thousands (amortized by the translation
+// cache), and chained translated code dispatches in a couple of cycles.
+type Params struct {
+	// HotThreshold is the execution count at which a region is translated
+	// ("filters infrequently executed code from being needlessly
+	// optimized").
+	HotThreshold int
+	// InterpOverhead is the decode/dispatch cost per interpreted x86
+	// instruction, added to the native latency of the operation itself.
+	InterpOverhead int
+	// TranslateCostPerInstr is the one-time translation cost per x86
+	// instruction in a region.
+	TranslateCostPerInstr int
+	// DispatchCycles is the cost of entering the translation cache from
+	// the CMS runtime (hash lookup, context restore).
+	DispatchCycles int
+	// ChainedDispatchCycles is the cost when a translation exits directly
+	// into another cached translation (translation chaining).
+	ChainedDispatchCycles int
+	// CacheCapacityAtoms bounds the translation cache size, measured in
+	// atoms (a proxy for the cache's memory footprint). 0 = unlimited.
+	CacheCapacityAtoms int
+}
+
+// DefaultParams returns the CMS 4.x-like defaults.
+func DefaultParams() Params {
+	return Params{
+		HotThreshold:          24,
+		InterpOverhead:        18,
+		TranslateCostPerInstr: 3000,
+		DispatchCycles:        40,
+		ChainedDispatchCycles: 1,
+		CacheCapacityAtoms:    1 << 16,
+	}
+}
+
+// Stats reports where cycles went during a run.
+type Stats struct {
+	InterpInstrs      uint64 // x86 instructions interpreted
+	InterpCycles      uint64
+	Translations      uint64 // regions translated
+	TranslatedInstrs  uint64 // x86 instructions covered by translations
+	TranslateCycles   uint64
+	NativeExecutions  uint64 // translation executions
+	NativeCycles      uint64 // cycles inside translated code
+	NativeAtoms       uint64
+	NativeMolecules   uint64
+	DispatchCycles    uint64
+	ChainedDispatches uint64
+	ColdDispatches    uint64
+	CacheEvictions    uint64
+	CacheAtoms        int // current cache occupancy
+}
+
+// TotalCycles sums every cycle category.
+func (s Stats) TotalCycles() uint64 {
+	return s.InterpCycles + s.TranslateCycles + s.NativeCycles + s.DispatchCycles
+}
+
+// PackingDensity returns atoms per molecule executed — the ILP the
+// translator extracted.
+func (s Stats) PackingDensity() float64 {
+	if s.NativeMolecules == 0 {
+		return 0
+	}
+	return float64(s.NativeAtoms) / float64(s.NativeMolecules)
+}
+
+type cacheEntry struct {
+	tr  *vliw.Translation
+	ele *list.Element // position in LRU list; value is the entry PC
+}
+
+// Machine is a full Crusoe model: CMS running over the VLIW engine.
+type Machine struct {
+	P     Params
+	Trans *Translator
+	VLIW  *vliw.Machine
+
+	cache   map[int]*cacheEntry
+	lru     *list.List
+	profile map[int]int
+	stats   Stats
+}
+
+// NewMachine builds a Crusoe with the given CMS parameters and VLIW
+// timing.
+func NewMachine(p Params, timing vliw.Timing) *Machine {
+	return &Machine{
+		P:       p,
+		Trans:   NewTranslator(),
+		VLIW:    vliw.NewMachine(timing),
+		cache:   map[int]*cacheEntry{},
+		lru:     list.New(),
+		profile: map[int]int{},
+	}
+}
+
+// Stats returns a copy of the run statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Reset clears the translation cache, profile and statistics (a "CMS
+// reboot"); translations do not survive across Reset.
+func (m *Machine) Reset() {
+	m.cache = map[int]*cacheEntry{}
+	m.lru = list.New()
+	m.profile = map[int]int{}
+	m.stats = Stats{}
+}
+
+// ErrFuel is returned when the cycle budget is exhausted.
+var ErrFuel = errors.New("cms: cycle budget exhausted")
+
+// Run executes the program on the simulated Crusoe until the x86 program
+// halts, returning total cycles consumed (per the CMS + VLIW cost model)
+// and the dynamic x86-level trace. fuelCycles of 0 means unlimited.
+//
+// The control loop mirrors the paper's description: CMS interprets cold
+// code one instruction at a time while counting executions of region
+// heads; when a head crosses the hot threshold its region is translated
+// into molecules and cached; cached regions execute natively and chain to
+// each other.
+func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, isa.Trace, error) {
+	var tr isa.Trace
+	if err := p.Validate(); err != nil {
+		return 0, tr, err
+	}
+	vst := vliw.NewState(st)
+	fromNative := false
+	for !st.Halted {
+		if fuelCycles > 0 && m.stats.TotalCycles() >= fuelCycles {
+			return m.stats.TotalCycles(), tr, ErrFuel
+		}
+		pc := st.PC
+		if pc < 0 || pc >= len(p) {
+			return m.stats.TotalCycles(), tr, fmt.Errorf("cms: PC %d out of range", pc)
+		}
+		if ent := m.lookup(pc); ent != nil {
+			if fromNative {
+				m.stats.DispatchCycles += uint64(m.P.ChainedDispatchCycles)
+				m.stats.ChainedDispatches++
+			} else {
+				m.stats.DispatchCycles += uint64(m.P.DispatchCycles)
+				m.stats.ColdDispatches++
+			}
+			res, err := m.VLIW.Execute(ent.tr, vst)
+			if err != nil {
+				return m.stats.TotalCycles(), tr, err
+			}
+			m.recordNative(&res, &tr)
+			st.PC = res.ExitPC
+			fromNative = true
+			continue
+		}
+		// Cold region: profile the head and maybe translate.
+		m.profile[pc]++
+		if m.profile[pc] >= m.P.HotThreshold {
+			if err := m.translate(p, pc); err != nil {
+				return m.stats.TotalCycles(), tr, err
+			}
+			fromNative = false
+			continue // next iteration dispatches into the new translation
+		}
+		// Interpret one region's worth: instruction by instruction until a
+		// control transfer lands on a new region head.
+		fromNative = false
+		if err := m.interpretRegion(p, st, &tr); err != nil {
+			return m.stats.TotalCycles(), tr, err
+		}
+	}
+	return m.stats.TotalCycles(), tr, nil
+}
+
+func (m *Machine) lookup(pc int) *cacheEntry {
+	ent := m.cache[pc]
+	if ent != nil {
+		m.lru.MoveToFront(ent.ele)
+	}
+	return ent
+}
+
+func (m *Machine) translate(p isa.Program, pc int) error {
+	t, err := m.Trans.Translate(p, pc)
+	if err != nil {
+		return err
+	}
+	m.stats.Translations++
+	m.stats.TranslatedInstrs += uint64(t.SrcInstrs)
+	m.stats.TranslateCycles += uint64(t.SrcInstrs * m.P.TranslateCostPerInstr)
+	m.insert(pc, t)
+	return nil
+}
+
+func (m *Machine) insert(pc int, t *vliw.Translation) {
+	atoms := t.Atoms()
+	if m.P.CacheCapacityAtoms > 0 {
+		for m.stats.CacheAtoms+atoms > m.P.CacheCapacityAtoms && m.lru.Len() > 0 {
+			oldest := m.lru.Back()
+			victimPC := oldest.Value.(int)
+			victim := m.cache[victimPC]
+			m.stats.CacheAtoms -= victim.tr.Atoms()
+			delete(m.cache, victimPC)
+			m.lru.Remove(oldest)
+			m.stats.CacheEvictions++
+		}
+	}
+	ele := m.lru.PushFront(pc)
+	m.cache[pc] = &cacheEntry{tr: t, ele: ele}
+	m.stats.CacheAtoms += atoms
+}
+
+func (m *Machine) recordNative(res *vliw.ExecResult, tr *isa.Trace) {
+	m.stats.NativeExecutions++
+	m.stats.NativeCycles += res.Cycles
+	m.stats.NativeAtoms += res.Atoms
+	m.stats.NativeMolecules += res.Molecules
+	for c, n := range res.ByClass {
+		tr.ByClass[c] += n
+	}
+	tr.Flops += res.Flops
+	tr.Instrs += res.Atoms
+	if res.Taken {
+		tr.Taken++
+	}
+}
+
+// interpretRegion steps x86 instructions, charging interpreter cost per
+// instruction, until a control transfer executes (whose successor is the
+// next region head) or the program halts.
+func (m *Machine) interpretRegion(p isa.Program, st *isa.State, tr *isa.Trace) error {
+	for !st.Halted {
+		in := p[st.PC]
+		if err := isa.Step(p, st, tr); err != nil {
+			return err
+		}
+		m.stats.InterpInstrs++
+		m.stats.InterpCycles += uint64(m.P.InterpOverhead) + uint64(m.interpLatency(in.Op))
+		if isa.IsBranch(in.Op) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// interpLatency is the native execution latency of the interpreted op
+// (the interpreter still has to do the work, e.g. an fdiv costs what the
+// FPU costs).
+func (m *Machine) interpLatency(op isa.Op) int {
+	t := m.VLIW.T
+	switch isa.ClassOf(op) {
+	case isa.ClassIntMul:
+		return t.MulLatency
+	case isa.ClassLoad:
+		return t.LoadLatency
+	case isa.ClassFPAdd, isa.ClassFPMul:
+		return t.FPLatency
+	case isa.ClassFPDiv:
+		return t.FDivLatency
+	case isa.ClassFPSqrt:
+		return t.FSqrtLatency
+	default:
+		return t.IntLatency
+	}
+}
+
+// RunToCompletion is Run with unlimited fuel; it returns seconds of
+// simulated wall-clock at the given clock rate alongside the trace.
+func (m *Machine) RunToCompletion(p isa.Program, st *isa.State, clockHz float64) (seconds float64, tr isa.Trace, err error) {
+	cycles, tr, err := m.Run(p, st, 0)
+	if err != nil {
+		return 0, tr, err
+	}
+	return float64(cycles) / clockHz, tr, nil
+}

@@ -1,0 +1,472 @@
+// Package cms models Transmeta's Code Morphing Software as the paper's
+// §2.2 describes it: an interpreter that executes x86 instructions one at
+// a time while collecting run-time statistics, and a translator that
+// recompiles hot x86 regions into optimized VLIW molecules, cached in a
+// translation cache so the (large) translation cost is amortized over
+// repeated executions.
+package cms
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vliw"
+)
+
+// flagsReg is the pseudo-register index used for hazard tracking of the
+// condition flags during scheduling.
+const flagsReg = 200
+
+// Translator converts x86 regions into VLIW translations.
+type Translator struct {
+	// MaxRegion bounds the number of x86 instructions in one region
+	// (superblock along the fallthrough path).
+	MaxRegion int
+	// Wide selects the 128-bit (4-atom) molecule format; narrow (64-bit,
+	// 2-atom) is kept for the molecule-width ablation.
+	Wide bool
+}
+
+// NewTranslator returns a translator with the default region size and the
+// wide molecule format.
+func NewTranslator() *Translator {
+	return &Translator{MaxRegion: 64, Wide: true}
+}
+
+// Translate builds a translation for the region starting at entryPC. The
+// region follows the fallthrough path: conditional branches become
+// side-exits, and the region ends at an unconditional jump, a hlt, the
+// MaxRegion limit, or the end of the program.
+func (t *Translator) Translate(p isa.Program, entryPC int) (*vliw.Translation, error) {
+	if entryPC < 0 || entryPC >= len(p) {
+		return nil, fmt.Errorf("cms: translate entry %d out of range", entryPC)
+	}
+	tr := &vliw.Translation{EntryPC: entryPC}
+	sched := newScheduler(t.Wide)
+	pc := entryPC
+	for tr.SrcInstrs < t.maxRegion() && pc < len(p) {
+		in := p[pc]
+		atoms, exit, err := lower(in, pc)
+		if err != nil {
+			return nil, fmt.Errorf("cms: pc %d: %w", pc, err)
+		}
+		for _, a := range atoms {
+			sched.add(a)
+		}
+		tr.SrcInstrs++
+		pc++
+		if exit {
+			// Unconditional control transfer or hlt ends the region.
+			tr.Molecules = sched.finish()
+			tr.FallPC = pc // unreachable, but keep it valid
+			if err := tr.Validate(); err != nil {
+				return nil, err
+			}
+			return tr, nil
+		}
+	}
+	tr.Molecules = sched.finish()
+	tr.FallPC = pc
+	if len(tr.Molecules) == 0 {
+		// Region was all hlt-less empties (cannot happen with a valid
+		// program, but keep the invariant that translations are non-empty).
+		tr.Molecules = []vliw.Molecule{{Atoms: []vliw.Atom{{Op: vliw.ANop}}, Wide: t.Wide}}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (t *Translator) maxRegion() int {
+	if t.MaxRegion <= 0 {
+		return 64
+	}
+	return t.MaxRegion
+}
+
+// lower maps one x86 instruction to native atoms. The mini ISA is already
+// RISC-like, so lowering is one atom per instruction; the performance win
+// comes from the scheduler packing those atoms into molecules. It returns
+// exit=true when the instruction unconditionally leaves the region.
+func lower(in isa.Instr, pc int) ([]vliw.Atom, bool, error) {
+	a := vliw.Atom{Dst: in.Rd, Src1: in.Ra, Src2: in.Rb, Imm: in.Imm, F: in.F}
+	switch in.Op {
+	case isa.Nop:
+		return nil, false, nil // pure no-ops vanish in translation
+	case isa.Hlt:
+		return []vliw.Atom{{Op: vliw.ABr, Imm: vliw.HaltCode(pc + 1)}}, true, nil
+	case isa.MovI:
+		a.Op = vliw.AMovI
+	case isa.Mov:
+		a.Op = vliw.AMov
+	case isa.Add:
+		a.Op = vliw.AAdd
+	case isa.AddI:
+		a.Op = vliw.AAddI
+	case isa.Sub:
+		a.Op = vliw.ASub
+	case isa.SubI:
+		a.Op = vliw.ASubI
+	case isa.Mul:
+		a.Op = vliw.AMul
+	case isa.And:
+		a.Op = vliw.AAnd
+	case isa.Or:
+		a.Op = vliw.AOr
+	case isa.Xor:
+		a.Op = vliw.AXor
+	case isa.Shl:
+		a.Op = vliw.AShl
+	case isa.Shr:
+		a.Op = vliw.AShr
+	case isa.Cmp:
+		a.Op = vliw.ACmp
+	case isa.CmpI:
+		a.Op = vliw.ACmpI
+	case isa.Ld:
+		a.Op = vliw.ALd
+	case isa.St:
+		a.Op = vliw.ASt
+	case isa.FLd:
+		a.Op = vliw.AFLd
+	case isa.FSt:
+		a.Op = vliw.AFSt
+	case isa.FMovI:
+		a.Op = vliw.AFMovI
+	case isa.FMov:
+		a.Op = vliw.AFMov
+	case isa.FAdd:
+		a.Op = vliw.AFAdd
+	case isa.FSub:
+		a.Op = vliw.AFSub
+	case isa.FMul:
+		a.Op = vliw.AFMul
+	case isa.FDiv:
+		a.Op = vliw.AFDiv
+	case isa.FSqrt:
+		a.Op = vliw.AFSqrt
+	case isa.FNeg:
+		a.Op = vliw.AFNeg
+	case isa.FAbs:
+		a.Op = vliw.AFAbs
+	case isa.CvtIF:
+		a.Op = vliw.ACvtIF
+	case isa.CvtFI:
+		a.Op = vliw.ACvtFI
+	case isa.FCmp:
+		a.Op = vliw.AFCmp
+	case isa.Jmp:
+		return []vliw.Atom{{Op: vliw.ABr, Imm: in.Imm}}, true, nil
+	case isa.Jz:
+		return []vliw.Atom{{Op: vliw.ABrZ, Imm: in.Imm}}, false, nil
+	case isa.Jnz:
+		return []vliw.Atom{{Op: vliw.ABrNZ, Imm: in.Imm}}, false, nil
+	case isa.Jl:
+		return []vliw.Atom{{Op: vliw.ABrL, Imm: in.Imm}}, false, nil
+	case isa.Jle:
+		return []vliw.Atom{{Op: vliw.ABrLE, Imm: in.Imm}}, false, nil
+	case isa.Jg:
+		return []vliw.Atom{{Op: vliw.ABrG, Imm: in.Imm}}, false, nil
+	case isa.Jge:
+		return []vliw.Atom{{Op: vliw.ABrGE, Imm: in.Imm}}, false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown op %s", in.Op)
+	}
+	return []vliw.Atom{a}, false, nil
+}
+
+// scheduler performs greedy in-order list scheduling of atoms into
+// molecules, honouring data hazards, memory ordering, unit slots, and
+// branch barriers.
+type scheduler struct {
+	wide bool
+	mols []vliw.Molecule
+	// Hazard bookkeeping: the molecule index *after* which the value is
+	// safe to read (producer molecule + 1), per register.
+	intReady  map[uint8]int
+	fpReady   map[uint8]int
+	flagReady int
+	// Per-molecule write sets for WAW checks.
+	intWrites []map[uint8]bool
+	fpWrites  []map[uint8]bool
+	flagWrite []bool
+	// WAR: last molecule index that reads a register; a write must not be
+	// placed before it (parallel reads make same-molecule WAR legal).
+	intLastRead map[uint8]int
+	fpLastRead  map[uint8]int
+	flagRead    int
+	// Memory ordering.
+	lastStoreMol int // index of molecule with the last store, -1 none
+	lastLoadMol  int
+	// Branch barrier: no atom may be placed at or before this index.
+	floor int
+	// Unit occupancy per molecule.
+	aluUsed, fpuUsed, lsuUsed, bruUsed []int
+}
+
+func newScheduler(wide bool) *scheduler {
+	return &scheduler{
+		wide:         wide,
+		intReady:     map[uint8]int{},
+		fpReady:      map[uint8]int{},
+		intLastRead:  map[uint8]int{},
+		fpLastRead:   map[uint8]int{},
+		lastStoreMol: -1,
+		lastLoadMol:  -1,
+		flagReady:    0,
+		flagRead:     -1,
+	}
+}
+
+func (s *scheduler) slots() int {
+	if s.wide {
+		return 4
+	}
+	return 2
+}
+
+func (s *scheduler) ensure(idx int) {
+	for len(s.mols) <= idx {
+		s.mols = append(s.mols, vliw.Molecule{Wide: s.wide})
+		s.intWrites = append(s.intWrites, map[uint8]bool{})
+		s.fpWrites = append(s.fpWrites, map[uint8]bool{})
+		s.flagWrite = append(s.flagWrite, false)
+		s.aluUsed = append(s.aluUsed, 0)
+		s.fpuUsed = append(s.fpuUsed, 0)
+		s.lsuUsed = append(s.lsuUsed, 0)
+		s.bruUsed = append(s.bruUsed, 0)
+	}
+}
+
+// atomDeps returns the registers the atom reads and writes, with flags
+// modelled as pseudo-register reads/writes.
+func atomDeps(a vliw.Atom) (readsI, readsF []uint8, writesI, writesF *uint8, readsFlags, writesFlags bool) {
+	switch a.Op {
+	case vliw.ACmp, vliw.ACmpI, vliw.AFCmp:
+		writesFlags = true
+	case vliw.ABrZ, vliw.ABrNZ, vliw.ABrL, vliw.ABrLE, vliw.ABrG, vliw.ABrGE:
+		readsFlags = true
+	}
+	switch a.Op {
+	case vliw.AMov, vliw.AAddI, vliw.ASubI, vliw.AShl, vliw.AShr, vliw.ACmpI, vliw.ACvtIF, vliw.ALd, vliw.AFLd:
+		readsI = []uint8{a.Src1}
+	case vliw.AAdd, vliw.ASub, vliw.AMul, vliw.AAnd, vliw.AOr, vliw.AXor, vliw.ACmp, vliw.ASt:
+		readsI = []uint8{a.Src1, a.Src2}
+	case vliw.AFSt:
+		readsI = []uint8{a.Src1}
+		readsF = []uint8{a.Src2}
+	case vliw.AFMov, vliw.AFSqrt, vliw.AFNeg, vliw.AFAbs, vliw.ACvtFI:
+		readsF = []uint8{a.Src1}
+	case vliw.AFAdd, vliw.AFSub, vliw.AFMul, vliw.AFDiv, vliw.AFCmp:
+		readsF = []uint8{a.Src1, a.Src2}
+	}
+	switch a.Op {
+	case vliw.AMovI, vliw.AMov, vliw.AAdd, vliw.AAddI, vliw.ASub, vliw.ASubI,
+		vliw.AMul, vliw.AAnd, vliw.AOr, vliw.AXor, vliw.AShl, vliw.AShr,
+		vliw.ALd, vliw.ACvtFI:
+		d := a.Dst
+		writesI = &d
+	case vliw.AFMovI, vliw.AFMov, vliw.AFAdd, vliw.AFSub, vliw.AFMul,
+		vliw.AFDiv, vliw.AFSqrt, vliw.AFNeg, vliw.AFAbs, vliw.ACvtIF, vliw.AFLd:
+		d := a.Dst
+		writesF = &d
+	}
+	return
+}
+
+// add places the atom in the earliest feasible molecule.
+func (s *scheduler) add(a vliw.Atom) {
+	readsI, readsF, writesI, writesF, rFlags, wFlags := atomDeps(a)
+	unit := vliw.UnitOf(a.Op)
+	isLoad := a.Op == vliw.ALd || a.Op == vliw.AFLd
+	isStore := a.Op == vliw.ASt || a.Op == vliw.AFSt
+	isBr := vliw.IsBranch(a.Op)
+
+	// Earliest index from RAW hazards.
+	earliest := s.floor
+	for _, r := range readsI {
+		if s.intReady[r] > earliest {
+			earliest = s.intReady[r]
+		}
+	}
+	for _, r := range readsF {
+		if s.fpReady[r] > earliest {
+			earliest = s.fpReady[r]
+		}
+	}
+	if rFlags && s.flagReady > earliest {
+		earliest = s.flagReady
+	}
+	// WAW ordering: a write to r must land strictly after the previous
+	// writer's molecule (intReady/fpReady hold producer index + 1).
+	if writesI != nil && s.intReady[*writesI] > earliest {
+		earliest = s.intReady[*writesI]
+	}
+	if writesF != nil && s.fpReady[*writesF] > earliest {
+		earliest = s.fpReady[*writesF]
+	}
+	if wFlags && s.flagReady > earliest {
+		earliest = s.flagReady
+	}
+	// Memory ordering: loads after stores; stores after loads and stores.
+	if isLoad && s.lastStoreMol+1 > earliest {
+		earliest = s.lastStoreMol + 1
+	}
+	if isStore {
+		if s.lastStoreMol+1 > earliest {
+			earliest = s.lastStoreMol + 1
+		}
+		if s.lastLoadMol+1 > earliest {
+			earliest = s.lastLoadMol + 1
+		}
+	}
+	// Branch barrier: a branch must come at or after every scheduled atom.
+	if isBr {
+		if n := len(s.mols); n > earliest {
+			// Any occupied molecule forces the branch to its index or later.
+			for i := n - 1; i >= earliest; i-- {
+				if len(s.mols[i].Atoms) > 0 {
+					if i > earliest {
+						earliest = i
+					}
+					break
+				}
+			}
+		}
+	}
+
+	for idx := earliest; ; idx++ {
+		s.ensure(idx)
+		m := &s.mols[idx]
+		if len(m.Atoms) >= s.slots() {
+			continue
+		}
+		// Unit slot availability.
+		switch unit {
+		case vliw.UnitALU:
+			if s.aluUsed[idx] >= 2 {
+				continue
+			}
+		case vliw.UnitFPU:
+			if s.fpuUsed[idx] >= 1 {
+				continue
+			}
+		case vliw.UnitLSU:
+			if s.lsuUsed[idx] >= 1 {
+				continue
+			}
+		case vliw.UnitBRU:
+			if s.bruUsed[idx] >= 1 {
+				continue
+			}
+		}
+		// WAW within molecule.
+		if writesI != nil && s.intWrites[idx][*writesI] {
+			continue
+		}
+		if writesF != nil && s.fpWrites[idx][*writesF] {
+			continue
+		}
+		if wFlags && s.flagWrite[idx] {
+			continue
+		}
+		// Flags RAW/WAW across the same molecule: a flag reader may not
+		// share a molecule with a flag writer (ACmp applies its write
+		// immediately, so parallel-read semantics would break).
+		if rFlags && s.flagWrite[idx] {
+			continue
+		}
+		if wFlags && s.flagRead == idx {
+			continue
+		}
+		// WAR: a write may not land before a molecule that reads the old
+		// value. Same-molecule WAR is fine (parallel reads).
+		if writesI != nil && s.intLastRead[*writesI] > idx {
+			continue
+		}
+		if writesF != nil && s.fpLastRead[*writesF] > idx {
+			continue
+		}
+		if wFlags && s.flagRead > idx {
+			continue
+		}
+		// Also WAW across molecules: writing earlier than a later write
+		// cannot happen with in-order greedy placement (each write lands
+		// at the current frontier), so no extra check is needed.
+
+		// Place it.
+		m.Atoms = append(m.Atoms, a)
+		switch unit {
+		case vliw.UnitALU:
+			s.aluUsed[idx]++
+		case vliw.UnitFPU:
+			s.fpuUsed[idx]++
+		case vliw.UnitLSU:
+			s.lsuUsed[idx]++
+		case vliw.UnitBRU:
+			s.bruUsed[idx]++
+		}
+		for _, r := range readsI {
+			if idx > s.intLastRead[r] {
+				s.intLastRead[r] = idx
+			}
+		}
+		for _, r := range readsF {
+			if idx > s.fpLastRead[r] {
+				s.fpLastRead[r] = idx
+			}
+		}
+		if rFlags && idx > s.flagRead {
+			s.flagRead = idx
+		}
+		if writesI != nil {
+			s.intWrites[idx][*writesI] = true
+			if idx+1 > s.intReady[*writesI] {
+				s.intReady[*writesI] = idx + 1
+			}
+		}
+		if writesF != nil {
+			s.fpWrites[idx][*writesF] = true
+			if idx+1 > s.fpReady[*writesF] {
+				s.fpReady[*writesF] = idx + 1
+			}
+		}
+		if wFlags {
+			s.flagWrite[idx] = true
+			if idx+1 > s.flagReady {
+				s.flagReady = idx + 1
+			}
+		}
+		if isLoad && idx > s.lastLoadMol {
+			s.lastLoadMol = idx
+		}
+		if isStore && idx > s.lastStoreMol {
+			s.lastStoreMol = idx
+		}
+		if isBr {
+			// Nothing may move at or before the branch's molecule, and the
+			// branch must be the last atom of its molecule.
+			s.floor = idx + 1
+			// Move branch to last slot if atoms follow it in encoding.
+			last := len(m.Atoms) - 1
+			for i := 0; i < last; i++ {
+				if vliw.IsBranch(m.Atoms[i].Op) {
+					m.Atoms[i], m.Atoms[last] = m.Atoms[last], m.Atoms[i]
+				}
+			}
+		}
+		return
+	}
+}
+
+// finish returns the scheduled molecules, dropping trailing empties.
+func (s *scheduler) finish() []vliw.Molecule {
+	out := make([]vliw.Molecule, 0, len(s.mols))
+	for _, m := range s.mols {
+		if len(m.Atoms) > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}

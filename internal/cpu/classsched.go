@@ -1,0 +1,94 @@
+package cpu
+
+import "math"
+
+// classSched tracks functional-unit occupancy for one timing class.
+//
+// Pipelined units (RecipThroughput ≤ 1) accept a fixed number of issues
+// per clock cycle; tracking per-cycle issue counts lets a younger
+// instruction that becomes ready early claim a cycle an older (but
+// later-issuing) instruction left idle — which a greedy "next-free time
+// per unit" model cannot express. Blocking units (dividers, square-root
+// units; RecipThroughput > 1) keep the per-unit next-free model, which is
+// accurate for them because their use is serialized by data dependences
+// in practice.
+type classSched struct {
+	blocking bool
+	rt       float64
+	// Pipelined: issues already booked per cycle index.
+	bins       map[int64]int
+	perCycle   int
+	minLiveBin int64
+	// Blocking: next-free time per unit instance.
+	pool []float64
+}
+
+func newClassSched(u *UnitSpec) *classSched {
+	if u.RecipThroughput > 1 {
+		return &classSched{
+			blocking: true,
+			rt:       u.RecipThroughput,
+			pool:     make([]float64, u.Count),
+		}
+	}
+	per := int(math.Round(float64(u.Count) / u.RecipThroughput))
+	if per < 1 {
+		per = 1
+	}
+	return &classSched{
+		rt:       u.RecipThroughput,
+		bins:     map[int64]int{},
+		perCycle: per,
+	}
+}
+
+// acquire books the unit at the earliest time ≥ t and returns the issue
+// time.
+func (c *classSched) acquire(t float64) float64 {
+	if !c.blocking {
+		bin := int64(math.Floor(t))
+		at := t
+		for c.bins[bin] >= c.perCycle {
+			bin++
+			at = float64(bin)
+		}
+		c.bins[bin]++
+		if len(c.bins) > 8192 {
+			c.prune(bin)
+		}
+		if bin > c.minLiveBin {
+			// Track a loose lower bound of useful bins for pruning.
+			c.minLiveBin = bin - 4096
+		}
+		return at
+	}
+	// Blocking unit: prefer a unit already idle at t (latest such), else
+	// wait for the earliest-free one.
+	bestIdle, bestBusy := -1, 0
+	for i := range c.pool {
+		if c.pool[i] <= t {
+			if bestIdle < 0 || c.pool[i] > c.pool[bestIdle] {
+				bestIdle = i
+			}
+		}
+		if c.pool[i] < c.pool[bestBusy] {
+			bestBusy = i
+		}
+	}
+	at := t
+	unit := bestIdle
+	if unit < 0 {
+		unit = bestBusy
+		at = c.pool[unit]
+	}
+	c.pool[unit] = at + c.rt
+	return at
+}
+
+func (c *classSched) prune(current int64) {
+	for b := range c.bins {
+		if b < c.minLiveBin || b < current-4096 {
+			delete(c.bins, b)
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a small assembly dialect into a Program. Syntax, one
+// instruction per line:
+//
+//	; comment               # comment
+//	label:
+//	movi  r1, 42
+//	fmovi f0, 1.5
+//	add   r1, r2, r3        ; rd, ra, rb
+//	addi  r1, r2, 8
+//	ld    r1, [r2+4]        ; load word
+//	fst   [r2+0], f3        ; store word
+//	cmp   r1, r2
+//	jnz   label
+//	hlt
+//
+// Registers are r0..r15 and f0..f15. Branch targets are labels. Integer
+// immediates accept 0x-prefixed hex.
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var prog Program
+	labels := map[string]int{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", ln+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		ops := splitOperands(rest)
+		in, labelRef, err := parseInstr(mnemonic, ops)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", ln+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{len(prog), labelRef, ln + 1})
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Imm = int64(target)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; for package-level kernel
+// definitions whose sources are compile-time constants.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseIntReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("expected integer register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad integer register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseFPReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'f' && s[0] != 'F') {
+		return 0, fmt.Errorf("expected FP register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad FP register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "[rN+disp]" or "[rN]" or "[rN-disp]".
+func parseMem(s string) (base uint8, disp int64, err error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("expected memory operand [rN+disp], got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	regPart, dispPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		regPart, dispPart = inner[:i], inner[i+1:]
+		if inner[i] == '-' {
+			sign = -1
+		}
+	}
+	base, err = parseIntReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	if dispPart != "" {
+		d, err := parseImm(strings.TrimSpace(dispPart))
+		if err != nil {
+			return 0, 0, err
+		}
+		disp = sign * d
+	}
+	return base, disp, nil
+}
+
+var mnemonicOps = map[string]Op{
+	"nop": Nop, "hlt": Hlt, "movi": MovI, "mov": Mov, "add": Add,
+	"addi": AddI, "sub": Sub, "subi": SubI, "mul": Mul, "and": And,
+	"or": Or, "xor": Xor, "shl": Shl, "shr": Shr, "cmp": Cmp,
+	"cmpi": CmpI, "ld": Ld, "st": St, "fld": FLd, "fst": FSt,
+	"fmovi": FMovI, "fmov": FMov, "fadd": FAdd, "fsub": FSub,
+	"fmul": FMul, "fdiv": FDiv, "fsqrt": FSqrt, "fneg": FNeg,
+	"fabs": FAbs, "cvtif": CvtIF, "cvtfi": CvtFI, "fcmp": FCmp,
+	"jmp": Jmp, "jz": Jz, "jnz": Jnz, "jl": Jl, "jle": Jle,
+	"jg": Jg, "jge": Jge,
+}
+
+func parseInstr(mnemonic string, ops []string) (Instr, string, error) {
+	op, ok := mnemonicOps[mnemonic]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in := Instr{Op: op}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case Nop, Hlt:
+		err = need(0)
+	case MovI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(ops[0]); err == nil {
+				in.Imm, err = parseImm(ops[1])
+			}
+		}
+	case Mov:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(ops[0]); err == nil {
+				in.Ra, err = parseIntReg(ops[1])
+			}
+		}
+	case Add, Sub, Mul, And, Or, Xor:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseIntReg(ops[0]); err == nil {
+				if in.Ra, err = parseIntReg(ops[1]); err == nil {
+					in.Rb, err = parseIntReg(ops[2])
+				}
+			}
+		}
+	case AddI, SubI, Shl, Shr:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseIntReg(ops[0]); err == nil {
+				if in.Ra, err = parseIntReg(ops[1]); err == nil {
+					in.Imm, err = parseImm(ops[2])
+				}
+			}
+		}
+	case Cmp:
+		if err = need(2); err == nil {
+			if in.Ra, err = parseIntReg(ops[0]); err == nil {
+				in.Rb, err = parseIntReg(ops[1])
+			}
+		}
+	case CmpI:
+		if err = need(2); err == nil {
+			if in.Ra, err = parseIntReg(ops[0]); err == nil {
+				in.Imm, err = parseImm(ops[1])
+			}
+		}
+	case Ld:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(ops[0]); err == nil {
+				in.Ra, in.Imm, err = parseMemOperand(ops[1])
+			}
+		}
+	case FLd:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFPReg(ops[0]); err == nil {
+				in.Ra, in.Imm, err = parseMemOperand(ops[1])
+			}
+		}
+	case St:
+		if err = need(2); err == nil {
+			if in.Ra, in.Imm, err = parseMemOperand(ops[0]); err == nil {
+				in.Rb, err = parseIntReg(ops[1])
+			}
+		}
+	case FSt:
+		if err = need(2); err == nil {
+			if in.Ra, in.Imm, err = parseMemOperand(ops[0]); err == nil {
+				in.Rb, err = parseFPReg(ops[1])
+			}
+		}
+	case FMovI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFPReg(ops[0]); err == nil {
+				in.F, err = strconv.ParseFloat(ops[1], 64)
+				if err != nil {
+					err = fmt.Errorf("bad FP immediate %q", ops[1])
+				}
+			}
+		}
+	case FMov, FSqrt, FNeg, FAbs:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFPReg(ops[0]); err == nil {
+				in.Ra, err = parseFPReg(ops[1])
+			}
+		}
+	case FAdd, FSub, FMul, FDiv:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseFPReg(ops[0]); err == nil {
+				if in.Ra, err = parseFPReg(ops[1]); err == nil {
+					in.Rb, err = parseFPReg(ops[2])
+				}
+			}
+		}
+	case CvtIF:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFPReg(ops[0]); err == nil {
+				in.Ra, err = parseIntReg(ops[1])
+			}
+		}
+	case CvtFI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(ops[0]); err == nil {
+				in.Ra, err = parseFPReg(ops[1])
+			}
+		}
+	case FCmp:
+		if err = need(2); err == nil {
+			if in.Ra, err = parseFPReg(ops[0]); err == nil {
+				in.Rb, err = parseFPReg(ops[1])
+			}
+		}
+	case Jmp, Jz, Jnz, Jl, Jle, Jg, Jge:
+		if err = need(1); err == nil {
+			if isIdent(ops[0]) {
+				return in, ops[0], nil
+			}
+			in.Imm, err = parseImm(ops[0])
+		}
+	}
+	return in, "", err
+}
+
+func parseMemOperand(s string) (uint8, int64, error) {
+	return parseMem(s)
+}
+
+// Disassemble renders one instruction in the Assemble dialect.
+func Disassemble(in Instr) string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	f := func(n uint8) string { return fmt.Sprintf("f%d", n) }
+	mem := func(base uint8, disp int64) string {
+		if disp == 0 {
+			return fmt.Sprintf("[r%d]", base)
+		}
+		if disp < 0 {
+			return fmt.Sprintf("[r%d-%d]", base, -disp)
+		}
+		return fmt.Sprintf("[r%d+%d]", base, disp)
+	}
+	switch in.Op {
+	case Nop, Hlt:
+		return in.Op.String()
+	case MovI:
+		return fmt.Sprintf("movi %s, %d", r(in.Rd), in.Imm)
+	case Mov:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Ra))
+	case Add, Sub, Mul, And, Or, Xor:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Ra), r(in.Rb))
+	case AddI, SubI, Shl, Shr:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+	case Cmp:
+		return fmt.Sprintf("cmp %s, %s", r(in.Ra), r(in.Rb))
+	case CmpI:
+		return fmt.Sprintf("cmpi %s, %d", r(in.Ra), in.Imm)
+	case Ld:
+		return fmt.Sprintf("ld %s, %s", r(in.Rd), mem(in.Ra, in.Imm))
+	case St:
+		return fmt.Sprintf("st %s, %s", mem(in.Ra, in.Imm), r(in.Rb))
+	case FLd:
+		return fmt.Sprintf("fld %s, %s", f(in.Rd), mem(in.Ra, in.Imm))
+	case FSt:
+		return fmt.Sprintf("fst %s, %s", mem(in.Ra, in.Imm), f(in.Rb))
+	case FMovI:
+		return fmt.Sprintf("fmovi %s, %v", f(in.Rd), in.F)
+	case FMov, FSqrt, FNeg, FAbs:
+		return fmt.Sprintf("%s %s, %s", in.Op, f(in.Rd), f(in.Ra))
+	case FAdd, FSub, FMul, FDiv:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, f(in.Rd), f(in.Ra), f(in.Rb))
+	case CvtIF:
+		return fmt.Sprintf("cvtif %s, %s", f(in.Rd), r(in.Ra))
+	case CvtFI:
+		return fmt.Sprintf("cvtfi %s, %s", r(in.Rd), f(in.Ra))
+	case FCmp:
+		return fmt.Sprintf("fcmp %s, %s", f(in.Ra), f(in.Rb))
+	case Jmp, Jz, Jnz, Jl, Jle, Jg, Jge:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	}
+	return fmt.Sprintf("?%d", in.Op)
+}
+
+// DisassembleProgram renders the whole program, one instruction per line,
+// with instruction indices as comments.
+func DisassembleProgram(p Program) string {
+	var b strings.Builder
+	for i, in := range p {
+		fmt.Fprintf(&b, "%s ; %d\n", Disassemble(in), i)
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+// Package isa defines the x86-like mini instruction set that stands in for
+// the paper's x86 binaries. The Transmeta Code Morphing Software in
+// internal/cms consumes programs in this ISA (interpreting, then
+// translating them to VLIW molecules), and the hardware-CPU timing models
+// in internal/cpu consume dynamic traces of the same programs. A reference
+// interpreter defines the architectural semantics that every execution
+// engine must match.
+//
+// Simplifications versus real IA-32, documented here once: registers are
+// 64-bit and flat (16 integer, 16 floating point — no x87 stack), memory is
+// an array of 8-byte words addressed by word index, and there is no
+// privileged state. None of these affect the behaviours the paper measures
+// (instruction-level parallelism, translation locality, op mix).
+package isa
+
+import "fmt"
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	Nop Op = iota
+	Hlt    // stop execution
+
+	// Integer ALU.
+	MovI // rd ← imm
+	Mov  // rd ← ra
+	Add  // rd ← ra + rb
+	AddI // rd ← ra + imm
+	Sub  // rd ← ra - rb
+	SubI // rd ← ra - imm
+	Mul  // rd ← ra * rb
+	And  // rd ← ra & rb
+	Or   // rd ← ra | rb
+	Xor  // rd ← ra ^ rb
+	Shl  // rd ← ra << (imm & 63)
+	Shr  // rd ← ra >> (imm & 63) (logical)
+	Cmp  // flags ← compare(ra, rb)
+	CmpI // flags ← compare(ra, imm)
+
+	// Memory (word addressed: address = R[ra] + imm).
+	Ld  // rd ← mem[R[ra]+imm] as int
+	St  // mem[R[ra]+imm] ← R[rb]
+	FLd // fd ← mem[R[ra]+imm] as float
+	FSt // mem[R[ra]+imm] ← F[rb]
+
+	// Floating point.
+	FMovI // fd ← fimm
+	FMov  // fd ← fa
+	FAdd  // fd ← fa + fb
+	FSub  // fd ← fa - fb
+	FMul  // fd ← fa * fb
+	FDiv  // fd ← fa / fb
+	FSqrt // fd ← sqrt(fa)
+	FNeg  // fd ← -fa
+	FAbs  // fd ← |fa|
+	CvtIF // fd ← float(R[ra])
+	CvtFI // rd ← int(F[fa]) (truncating)
+	FCmp  // flags ← compare(fa, fb)
+
+	// Control flow (absolute instruction-index targets).
+	Jmp
+	Jz  // jump if zero flag
+	Jnz // jump if not zero
+	Jl  // jump if less (signed)
+	Jle
+	Jg
+	Jge
+
+	numOps
+)
+
+// Class buckets opcodes for timing models.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassLoad
+	ClassStore
+	ClassFPAdd // add/sub/neg/abs/moves/converts
+	ClassFPMul
+	ClassFPDiv
+	ClassFPSqrt
+	ClassBranch
+	NumClasses
+)
+
+// ClassOf maps an opcode to its timing class.
+func ClassOf(op Op) Class {
+	switch op {
+	case Nop, Hlt:
+		return ClassNop
+	case MovI, Mov, Add, AddI, Sub, SubI, And, Or, Xor, Shl, Shr, Cmp, CmpI:
+		return ClassIntALU
+	case Mul:
+		return ClassIntMul
+	case Ld, FLd:
+		return ClassLoad
+	case St, FSt:
+		return ClassStore
+	case FMovI, FMov, FAdd, FSub, FNeg, FAbs, CvtIF, CvtFI, FCmp:
+		return ClassFPAdd
+	case FMul:
+		return ClassFPMul
+	case FDiv:
+		return ClassFPDiv
+	case FSqrt:
+		return ClassFPSqrt
+	case Jmp, Jz, Jnz, Jl, Jle, Jg, Jge:
+		return ClassBranch
+	}
+	panic(fmt.Sprintf("isa: unknown op %d", op))
+}
+
+// IsBranch reports whether op can change the program counter.
+func IsBranch(op Op) bool { return op >= Jmp && op <= Jge }
+
+// IsCondBranch reports whether op is a conditional branch.
+func IsCondBranch(op Op) bool { return op >= Jz && op <= Jge }
+
+// IsFlop reports whether op counts as a floating-point operation for
+// Mflops accounting (the convention the paper's codes use: arithmetic only,
+// moves and converts excluded).
+func IsFlop(op Op) bool {
+	switch op {
+	case FAdd, FSub, FMul, FDiv, FSqrt, FNeg, FAbs:
+		return true
+	}
+	return false
+}
+
+var opNames = [numOps]string{
+	Nop: "nop", Hlt: "hlt",
+	MovI: "movi", Mov: "mov", Add: "add", AddI: "addi", Sub: "sub",
+	SubI: "subi", Mul: "mul", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", Cmp: "cmp", CmpI: "cmpi",
+	Ld: "ld", St: "st", FLd: "fld", FSt: "fst",
+	FMovI: "fmovi", FMov: "fmov", FAdd: "fadd", FSub: "fsub",
+	FMul: "fmul", FDiv: "fdiv", FSqrt: "fsqrt", FNeg: "fneg",
+	FAbs: "fabs", CvtIF: "cvtif", CvtFI: "cvtfi", FCmp: "fcmp",
+	Jmp: "jmp", Jz: "jz", Jnz: "jnz", Jl: "jl", Jle: "jle",
+	Jg: "jg", Jge: "jge",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Instr is one decoded instruction. Rd/Ra/Rb index either the integer or
+// the floating-point file depending on the opcode. Imm doubles as the
+// branch target (instruction index) for control flow and the displacement
+// for memory ops; F holds floating-point immediates.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Ra  uint8
+	Rb  uint8
+	Imm int64
+	F   float64
+}
+
+// NumRegs is the size of each register file.
+const NumRegs = 16
+
+// Program is a sequence of instructions; entry is index 0.
+type Program []Instr
+
+// Validate checks register indices and branch targets, so execution engines
+// can skip bounds checks in their hot loops.
+func (p Program) Validate() error {
+	for i, in := range p {
+		if in.Op >= numOps {
+			return fmt.Errorf("isa: instr %d: bad opcode %d", i, in.Op)
+		}
+		if in.Rd >= NumRegs || in.Ra >= NumRegs || in.Rb >= NumRegs {
+			return fmt.Errorf("isa: instr %d (%s): register out of range", i, in.Op)
+		}
+		if IsBranch(in.Op) {
+			if in.Imm < 0 || in.Imm >= int64(len(p)) {
+				return fmt.Errorf("isa: instr %d (%s): branch target %d out of range [0,%d)", i, in.Op, in.Imm, len(p))
+			}
+		}
+	}
+	return nil
+}

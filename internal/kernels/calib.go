@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// CalibKernel is a loop dominated by one operation class, used to measure
+// a machine's effective per-class throughput (e.g. to calibrate the coarse
+// Crusoe model from full CMS+VLIW simulation).
+type CalibKernel struct {
+	Name  string
+	Class isa.Class
+	// Body emits one unrolled step; Ops is how many instructions of the
+	// target class each step contains.
+	body string
+	Ops  int
+}
+
+// CalibKernels returns independent-operation loops, one per timing class
+// that matters for the evaluation kernels. Bodies use distinct destination
+// registers so the operations are independent (throughput, not latency,
+// is measured — matching how the hardware-CPU cost tables are defined).
+func CalibKernels() []CalibKernel {
+	return []CalibKernel{
+		{
+			Name:  "intalu",
+			Class: isa.ClassIntALU,
+			body: `add r4, r2, r3
+				add r5, r2, r3
+				add r6, r2, r3
+				add r7, r2, r3`,
+			Ops: 4,
+		},
+		{
+			Name:  "intmul",
+			Class: isa.ClassIntMul,
+			body: `mul r4, r2, r3
+				mul r5, r2, r3
+				mul r6, r2, r3
+				mul r7, r2, r3`,
+			Ops: 4,
+		},
+		{
+			// Each load feeds a consumer so measured cost includes the
+			// exposed memory latency (four interleaved chains leave the
+			// out-of-order cores realistic overlap). The consumer adds
+			// are charged to the load cost — consistently for every
+			// processor, so relative ratings are unaffected.
+			Name:  "load",
+			Class: isa.ClassLoad,
+			body: `ld r4, [r0+0]
+				add r5, r4, r2
+				ld r6, [r0+1]
+				add r7, r6, r2
+				ld r8, [r0+2]
+				add r9, r8, r2
+				ld r10, [r0+3]
+				add r11, r10, r2`,
+			Ops: 4,
+		},
+		{
+			Name:  "store",
+			Class: isa.ClassStore,
+			body: `st [r0+0], r2
+				st [r0+1], r2
+				st [r0+2], r2
+				st [r0+3], r2`,
+			Ops: 4,
+		},
+		{
+			Name:  "fpadd",
+			Class: isa.ClassFPAdd,
+			body: `fadd f4, f2, f3
+				fadd f5, f2, f3
+				fadd f6, f2, f3
+				fadd f7, f2, f3`,
+			Ops: 4,
+		},
+		{
+			Name:  "fpmul",
+			Class: isa.ClassFPMul,
+			body: `fmul f4, f2, f3
+				fmul f5, f2, f3
+				fmul f6, f2, f3
+				fmul f7, f2, f3`,
+			Ops: 4,
+		},
+		{
+			Name:  "fpdiv",
+			Class: isa.ClassFPDiv,
+			body: `fdiv f4, f2, f3
+				fdiv f5, f2, f3`,
+			Ops: 2,
+		},
+		{
+			Name:  "fpsqrt",
+			Class: isa.ClassFPSqrt,
+			body: `fsqrt f4, f2
+				fsqrt f5, f2`,
+			Ops: 2,
+		},
+	}
+}
+
+// Build assembles the calibration loop with the given iteration count.
+// Register/memory setup makes all operand values benign (no div by zero).
+func (c CalibKernel) Build(iters int) (isa.Program, *isa.State, error) {
+	if iters <= 0 {
+		return nil, nil, fmt.Errorf("kernels: iters must be positive")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "movi r0, 0\nmovi r1, 0\nmovi r15, %d\n", iters)
+	b.WriteString("movi r2, 3\nmovi r3, 5\nfmovi f2, 1.25\nfmovi f3, 0.75\n")
+	b.WriteString("loop:\n")
+	b.WriteString(c.body + "\n")
+	b.WriteString("addi r1, r1, 1\ncmp r1, r15\njl loop\nhlt\n")
+	p, err := isa.Assemble(b.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	st := isa.NewState(8)
+	for i := int64(0); i < 8; i++ {
+		st.StoreI(i, i+1)
+	}
+	return p, st, nil
+}
+
+// OpsPerIteration returns the target-class op count per loop iteration.
+func (c CalibKernel) OpsPerIteration() int { return c.Ops }

@@ -1,0 +1,137 @@
+// Package longrun models Transmeta's LongRun dynamic voltage and
+// frequency scaling — the mechanism behind the power trajectory the
+// paper's conclusion sketches (TM5600 ≈6 W at load, TM5800 ≈3.5 W,
+// TM6000 projected at half again). LongRun steps the core through
+// discrete (MHz, V) operating points; since dynamic power scales as
+// f·V², the low states trade performance for disproportionate energy
+// savings. This package pairs the operating-point table with the CMS
+// simulation so energy-versus-performance experiments run on the same
+// cycle counts as everything else.
+package longrun
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// State is one LongRun operating point.
+type State struct {
+	MHz   float64
+	Volts float64
+	// WattsCPU is the core's draw at load in this state.
+	WattsCPU float64
+}
+
+// TM5600States is the TM5600's LongRun ladder (values follow Transmeta's
+// published envelope: ~1.5 W at 300 MHz up to ~6 W at the full 633 MHz).
+func TM5600States() []State {
+	return []State{
+		{MHz: 300, Volts: 1.20, WattsCPU: 1.5},
+		{MHz: 400, Volts: 1.28, WattsCPU: 2.3},
+		{MHz: 500, Volts: 1.38, WattsCPU: 3.5},
+		{MHz: 600, Volts: 1.55, WattsCPU: 5.3},
+		{MHz: 633, Volts: 1.60, WattsCPU: 6.0},
+	}
+}
+
+// TM5800States is the TM5800's ladder (the paper: 3.5 W at 800 MHz; the
+// 366-MHz point dissipated under a watt).
+func TM5800States() []State {
+	return []State{
+		{MHz: 366, Volts: 0.95, WattsCPU: 0.9},
+		{MHz: 500, Volts: 1.05, WattsCPU: 1.4},
+		{MHz: 667, Volts: 1.15, WattsCPU: 2.4},
+		{MHz: 800, Volts: 1.25, WattsCPU: 3.5},
+	}
+}
+
+// Validate checks a ladder is monotone in frequency, voltage and power.
+func Validate(states []State) error {
+	if len(states) == 0 {
+		return fmt.Errorf("longrun: empty state table")
+	}
+	for i, s := range states {
+		if s.MHz <= 0 || s.Volts <= 0 || s.WattsCPU <= 0 {
+			return fmt.Errorf("longrun: state %d not positive: %+v", i, s)
+		}
+		if i > 0 {
+			p := states[i-1]
+			if s.MHz <= p.MHz || s.Volts < p.Volts || s.WattsCPU <= p.WattsCPU {
+				return fmt.Errorf("longrun: ladder not monotone at state %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Measurement is one kernel run at one operating point.
+type Measurement struct {
+	State   State
+	Seconds float64 // kernel runtime at this point
+	Joules  float64 // CPU energy for the run
+	Mflops  float64
+	// MflopsPerWatt is the paper-era energy-efficiency metric (the
+	// precursor of the Green500's flops/W).
+	MflopsPerWatt float64
+	// EnergyDelay is the energy-delay product (J·s).
+	EnergyDelay float64
+}
+
+// Sweep runs the program once per operating point of a Crusoe model.
+// Cycle counts are frequency-independent (the memory timings are part of
+// the core model), so runtime scales inversely with frequency while
+// energy follows the ladder's watts.
+func Sweep(base *cpu.Crusoe, states []State, build func() (isa.Program, *isa.State, error)) ([]Measurement, error) {
+	if err := Validate(states); err != nil {
+		return nil, err
+	}
+	var out []Measurement
+	for _, st := range states {
+		c := *base
+		c.MHz = st.MHz
+		prog, ist, err := build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.RunKernel(prog, ist)
+		if err != nil {
+			return nil, err
+		}
+		m := Measurement{
+			State:   st,
+			Seconds: res.Seconds,
+			Joules:  res.Seconds * st.WattsCPU,
+			Mflops:  res.Mflops(),
+		}
+		m.MflopsPerWatt = m.Mflops / st.WattsCPU
+		m.EnergyDelay = m.Joules * m.Seconds
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// BestEnergy returns the index of the state that finishes the job with
+// the least energy (typically a low-voltage state).
+func BestEnergy(ms []Measurement) int {
+	best := 0
+	for i, m := range ms {
+		if m.Joules < ms[best].Joules {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestEnergyDelay returns the index minimizing the energy-delay product
+// (the balanced operating point).
+func BestEnergyDelay(ms []Measurement) int {
+	best := 0
+	for i, m := range ms {
+		if m.EnergyDelay < ms[best].EnergyDelay {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package longrun
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+func buildKernel() (isa.Program, *isa.State, error) {
+	g := kernels.GravMicro{Variant: kernels.GravKarp, NBodies: 8, Iters: 60,
+		TableBits: 7, ChebDeg: 2, NRIters: 2, Seed: 3}
+	return g.Build()
+}
+
+func TestLaddersValidate(t *testing.T) {
+	if err := Validate(TM5600States()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(TM5800States()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(nil); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+	bad := TM5600States()
+	bad[1].MHz = bad[0].MHz
+	if err := Validate(bad); err == nil {
+		t.Fatal("non-monotone ladder accepted")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	ms, err := Sweep(cpu.NewTM5600(), TM5600States(), buildKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("%d measurements", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		// Higher clock: faster runtime, higher Mflops.
+		if ms[i].Seconds >= ms[i-1].Seconds {
+			t.Fatalf("runtime not decreasing with clock: %+v", ms)
+		}
+		if ms[i].Mflops <= ms[i-1].Mflops {
+			t.Fatalf("Mflops not increasing with clock: %+v", ms)
+		}
+	}
+	// The LongRun trade: the lowest-voltage state is the most
+	// energy-efficient per flop (f·V² scaling beats linear slowdown).
+	if ms[0].MflopsPerWatt <= ms[len(ms)-1].MflopsPerWatt {
+		t.Fatalf("low state not more efficient: %v vs %v Mflops/W",
+			ms[0].MflopsPerWatt, ms[len(ms)-1].MflopsPerWatt)
+	}
+	if BestEnergy(ms) != 0 {
+		t.Fatalf("BestEnergy = %d, want the 300-MHz state", BestEnergy(ms))
+	}
+	// Energy-delay prefers a middle-or-higher state (delay matters too).
+	if bed := BestEnergyDelay(ms); bed == 0 {
+		t.Fatalf("BestEnergyDelay picked the slowest state")
+	}
+}
+
+func TestTM5800MoreEfficientThanTM5600(t *testing.T) {
+	// The conclusion's trajectory: the TM5800 delivers better flops/W at
+	// full tilt than the TM5600 (3.3 Gflops at 3.5 W/CPU vs 2.1 at 6).
+	m56, err := Sweep(cpu.NewTM5600(), TM5600States(), buildKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m58, err := Sweep(cpu.NewTM5800(), TM5800States(), buildKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top56 := m56[len(m56)-1]
+	top58 := m58[len(m58)-1]
+	if top58.MflopsPerWatt <= top56.MflopsPerWatt {
+		t.Fatalf("TM5800 %v Mflops/W not above TM5600 %v", top58.MflopsPerWatt, top56.MflopsPerWatt)
+	}
+}

@@ -1,0 +1,107 @@
+// Package metrics provides the small shared vocabulary of the experiment
+// drivers: speedup/efficiency arithmetic and plain-text table rendering
+// in the paper's layout.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Speedup returns t1/tp.
+func Speedup(t1, tp float64) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return t1 / tp
+}
+
+// Efficiency returns speedup/p.
+func Efficiency(t1, tp float64, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return Speedup(t1, tp) / float64(p)
+}
+
+// Table renders an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v unless it is a float64, which gets the supplied numeric format.
+func (t *Table) AddRowf(numFmt string, cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out = append(out, fmt.Sprintf(numFmt, v))
+		default:
+			out = append(out, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Fatal("speedup")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Fatal("zero time must not divide")
+	}
+	if Efficiency(10, 2, 5) != 1 {
+		t.Fatal("efficiency")
+	}
+	if Efficiency(10, 2, 0) != 0 {
+		t.Fatal("zero P must not divide")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "Machine", "Gflop")
+	tb.AddRow("Avalon", "14.1")
+	tb.AddRowf("%.2f", "MetaBlade", 2.75)
+	s := tb.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Fatalf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "Avalon") || !strings.Contains(s, "2.75") {
+		t.Fatalf("missing cells: %q", s)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	// Column alignment: every line has the second column starting at the
+	// same offset.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	header := lines[1]
+	idx := strings.Index(header, "Gflop")
+	if !strings.HasPrefix(lines[3][idx:], "14.1") {
+		t.Fatalf("column misaligned:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("1")                // short
+	tb.AddRow("1", "2", "3", "4") // long: extra dropped
+	s := tb.String()
+	if strings.Contains(s, "4") {
+		t.Fatalf("extra cell kept: %q", s)
+	}
+	if tb.Rows() != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestTableNeverPanicsProperty(t *testing.T) {
+	f := func(title string, hdr []string, cells []string) bool {
+		if len(hdr) > 8 {
+			hdr = hdr[:8]
+		}
+		if len(hdr) == 0 {
+			hdr = []string{"x"}
+		}
+		tb := NewTable(title, hdr...)
+		tb.AddRow(cells...)
+		return len(tb.String()) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

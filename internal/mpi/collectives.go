@@ -1,0 +1,221 @@
+package mpi
+
+import "fmt"
+
+// Collective tags live in a reserved range so user point-to-point traffic
+// (tags ≥ 0) can never collide with them.
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+)
+
+// Op is a reduction operator over float64 elements.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	Sum Op = func(a, b float64) float64 { return a + b }
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Barrier synchronizes all ranks (dissemination algorithm: ceil(log2 p)
+// rounds of pairwise messages).
+func (c *Comm) Barrier() {
+	p := c.Size()
+	for dist := 1; dist < p; dist *= 2 {
+		to := (c.rank + dist) % p
+		from := (c.rank - dist + p) % p
+		if to == c.rank {
+			continue
+		}
+		c.send(to, message{tag: tagBarrier})
+		c.recv(from, tagBarrier)
+	}
+}
+
+// Bcast broadcasts root's buffer to every rank (binomial tree). Every
+// rank passes its own buf; non-roots receive into the returned slice.
+func (c *Comm) Bcast(root int, buf []float64) []float64 {
+	p := c.Size()
+	if p == 1 {
+		return buf
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.rank - root + p) % p
+	data := buf
+	// Highest power of two ≥ p.
+	top := 1
+	for top < p {
+		top *= 2
+	}
+	// Canonical binomial tree: a rank receives exactly once, at the stage
+	// matching its highest set bit, then relays at all smaller distances.
+	for dist := top / 2; dist >= 1; dist /= 2 {
+		switch vrank % (2 * dist) {
+		case 0:
+			dst := vrank + dist
+			if dst < p {
+				c.send((dst+root)%p, message{tag: tagBcast, f64: append([]float64(nil), data...)})
+			}
+		case dist:
+			m := c.recv((vrank-dist+root)%p, tagBcast)
+			data = m.f64
+		}
+	}
+	return data
+}
+
+// Reduce combines elementwise with op onto root (binomial tree). Returns
+// the combined slice at root and nil elsewhere.
+func (c *Comm) Reduce(root int, op Op, data []float64) []float64 {
+	p := c.Size()
+	acc := append([]float64(nil), data...)
+	if p == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + p) % p
+	for dist := 1; dist < p; dist *= 2 {
+		if vrank%(2*dist) == 0 {
+			src := vrank + dist
+			if src < p {
+				m := c.recv((src+root)%p, tagReduce)
+				if len(m.f64) != len(acc) {
+					panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(m.f64), len(acc)))
+				}
+				for i := range acc {
+					acc[i] = op(acc[i], m.f64[i])
+				}
+			}
+		} else {
+			dst := vrank - dist
+			c.send((dst+root)%p, message{tag: tagReduce, f64: acc})
+			return nil
+		}
+	}
+	if vrank == 0 {
+		return acc
+	}
+	return nil
+}
+
+// Allreduce combines elementwise with op, result on every rank
+// (reduce to rank 0, then broadcast — the MPICH algorithm on Ethernet).
+func (c *Comm) Allreduce(op Op, data []float64) []float64 {
+	out := c.Reduce(0, op, data)
+	if out == nil {
+		out = make([]float64, len(data))
+	}
+	return c.Bcast(0, out)
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
+	return c.Allreduce(op, []float64{v})[0]
+}
+
+// Gather collects every rank's slice at root, concatenated in rank order.
+// Non-roots receive nil.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	if c.rank != root {
+		c.send(root, message{tag: tagGather, f64: append([]float64(nil), data...)})
+		return nil
+	}
+	out := make([][]float64, c.Size())
+	out[root] = append([]float64(nil), data...)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.recv(r, tagGather).f64
+	}
+	return out
+}
+
+// Scatter distributes root's per-rank slices; returns this rank's piece.
+func (c *Comm) Scatter(root int, pieces [][]float64) []float64 {
+	if c.rank == root {
+		if len(pieces) != c.Size() {
+			panic("mpi: scatter needs one piece per rank")
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			c.send(r, message{tag: tagScatter, f64: append([]float64(nil), pieces[r]...)})
+		}
+		return append([]float64(nil), pieces[root]...)
+	}
+	return c.recv(root, tagScatter).f64
+}
+
+// Allgather gives every rank the concatenation (in rank order) of every
+// rank's data, via a ring.
+func (c *Comm) Allgather(data []float64) [][]float64 {
+	p := c.Size()
+	out := make([][]float64, p)
+	out[c.rank] = append([]float64(nil), data...)
+	cur := out[c.rank]
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		c.send(right, message{tag: tagAllgather, f64: append([]float64(nil), cur...)})
+		m := c.recv(left, tagAllgather)
+		src := (c.rank - step - 1 + p) % p
+		out[src] = m.f64
+		cur = m.f64
+	}
+	return out
+}
+
+// AllgatherInts is Allgather for int64 payloads.
+func (c *Comm) AllgatherInts(data []int64) [][]int64 {
+	p := c.Size()
+	out := make([][]int64, p)
+	out[c.rank] = append([]int64(nil), data...)
+	cur := out[c.rank]
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		c.send(right, message{tag: tagAllgather, i64: append([]int64(nil), cur...)})
+		m := c.recv(left, tagAllgather)
+		src := (c.rank - step - 1 + p) % p
+		out[src] = m.i64
+		cur = m.i64
+	}
+	return out
+}
+
+// AlltoallInts performs a personalized exchange: element send[d] goes to
+// rank d; the result's element s came from rank s. Used by the IS bucket
+// redistribution.
+func (c *Comm) AlltoallInts(send [][]int64) [][]int64 {
+	p := c.Size()
+	if len(send) != p {
+		panic("mpi: alltoall needs one slice per rank")
+	}
+	out := make([][]int64, p)
+	out[c.rank] = append([]int64(nil), send[c.rank]...)
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		c.send(dst, message{tag: tagAlltoall, i64: append([]int64(nil), send[dst]...)})
+		out[src] = c.recv(src, tagAlltoall).i64
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package mpi is the message-passing substrate the paper's parallel codes
+// (the treecode and the NAS benchmarks) run on. Ranks are goroutines that
+// exchange real data over per-pair FIFO channels, so parallel results are
+// genuinely computed in parallel; each rank additionally carries a virtual
+// clock, advanced by modelled compute time (via the CPU op-mix models) and
+// by message costs from a netsim.Fabric, so a run yields both a correct
+// answer and a simulated parallel runtime on the modelled cluster.
+//
+// Collectives are implemented on top of point-to-point sends (binomial
+// trees, rings, dissemination barriers), so their virtual-time behaviour
+// emerges from the same fabric model the analytical formulas in netsim
+// describe — and the two are cross-checked in tests.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// message is one in-flight point-to-point transfer.
+type message struct {
+	tag     int
+	f64     []float64
+	i64     []int64
+	bytes   []byte
+	arrival float64 // virtual time the payload is fully received
+}
+
+func (m *message) payloadBytes() int {
+	return 8*len(m.f64) + 8*len(m.i64) + len(m.bytes)
+}
+
+// World is a communicator universe of Size ranks.
+type World struct {
+	size   int
+	fabric *netsim.Fabric // nil = zero-cost network
+	chans  []chan message // chans[src*size+dst]
+	comms  []*Comm
+}
+
+// ChannelDepth bounds in-flight messages per (src,dst) pair; deep enough
+// that the eager sends our codes use never deadlock.
+const ChannelDepth = 4096
+
+// NewWorld creates a world. fabric may be nil for an untimed run.
+func NewWorld(size int, fabric *netsim.Fabric) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d", size)
+	}
+	if fabric != nil {
+		if err := fabric.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	w := &World{size: size, fabric: fabric}
+	w.chans = make([]chan message, size*size)
+	for i := range w.chans {
+		w.chans[i] = make(chan message, ChannelDepth)
+	}
+	w.comms = make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		w.comms[r] = &Comm{world: w, rank: r}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn on every rank concurrently and waits for completion. It
+// returns the first error any rank reported (panics are converted to
+// errors so a failing rank cannot take down the test harness silently).
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(w.comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxTime returns the parallel makespan: the maximum virtual clock over
+// all ranks (call after Run).
+func (w *World) MaxTime() float64 {
+	m := 0.0
+	for _, c := range w.comms {
+		if c.now > m {
+			m = c.now
+		}
+	}
+	return m
+}
+
+// TotalBytes returns the bytes sent across all ranks (call after Run).
+func (w *World) TotalBytes() int64 {
+	var n int64
+	for _, c := range w.comms {
+		n += c.bytesSent
+	}
+	return n
+}
+
+// TotalMessages returns messages sent across all ranks (call after Run).
+func (w *World) TotalMessages() int64 {
+	var n int64
+	for _, c := range w.comms {
+		n += c.msgsSent
+	}
+	return n
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world     *World
+	rank      int
+	now       float64 // virtual time, seconds
+	bytesSent int64
+	msgsSent  int64
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Now returns the rank's virtual clock.
+func (c *Comm) Now() float64 { return c.now }
+
+// AddCompute advances the virtual clock by modelled computation time.
+func (c *Comm) AddCompute(seconds float64) {
+	if seconds < 0 {
+		panic("mpi: negative compute time")
+	}
+	c.now += seconds
+}
+
+func (c *Comm) chanTo(dst int) chan message {
+	return c.world.chans[c.rank*c.world.size+dst]
+}
+
+func (c *Comm) chanFrom(src int) chan message {
+	return c.world.chans[src*c.world.size+c.rank]
+}
+
+func (c *Comm) send(dst int, m message) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d sends to invalid rank %d", c.rank, dst))
+	}
+	if dst == c.rank {
+		panic("mpi: self-send not supported; use local data")
+	}
+	if f := c.world.fabric; f != nil {
+		m.arrival = c.now + f.PointToPoint(m.payloadBytes())
+		// The sender's CPU is busy for the software half of the overhead.
+		c.now += f.SoftwareOverhead / 2
+	} else {
+		m.arrival = c.now
+	}
+	c.bytesSent += int64(m.payloadBytes())
+	c.msgsSent++
+	c.chanTo(dst) <- m
+}
+
+func (c *Comm) recv(src, tag int) message {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d receives from invalid rank %d", c.rank, src))
+	}
+	m := <-c.chanFrom(src)
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	if m.arrival > c.now {
+		c.now = m.arrival
+	}
+	return m
+}
+
+// Send transmits float64 data to dst with a tag. The slice is copied, so
+// the caller may reuse it.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.send(dst, message{tag: tag, f64: append([]float64(nil), data...)})
+}
+
+// Recv receives float64 data from src; the tag must match the next
+// message in FIFO order (our codes use deterministic matching).
+func (c *Comm) Recv(src, tag int) []float64 {
+	return c.recv(src, tag).f64
+}
+
+// SendInts transmits int64 data.
+func (c *Comm) SendInts(dst, tag int, data []int64) {
+	c.send(dst, message{tag: tag, i64: append([]int64(nil), data...)})
+}
+
+// RecvInts receives int64 data.
+func (c *Comm) RecvInts(src, tag int) []int64 {
+	return c.recv(src, tag).i64
+}
+
+// SendBytes transmits raw bytes (for encoded structures).
+func (c *Comm) SendBytes(dst, tag int, data []byte) {
+	c.send(dst, message{tag: tag, bytes: append([]byte(nil), data...)})
+}
+
+// RecvBytes receives raw bytes.
+func (c *Comm) RecvBytes(src, tag int) []byte {
+	return c.recv(src, tag).bytes
+}
+
+// Sendrecv exchanges float64 payloads with a partner without deadlock.
+func (c *Comm) Sendrecv(partner, tag int, data []float64) []float64 {
+	c.Send(partner, tag, data)
+	return c.Recv(partner, tag)
+}

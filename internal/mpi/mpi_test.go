@@ -1,0 +1,423 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func worldSizes() []int { return []int{1, 2, 3, 4, 5, 8, 13, 16} }
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, nil); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	bad := netsim.FastEthernet()
+	bad.BandwidthBps = -1
+	if _, err := NewWorld(2, bad); err == nil {
+		t.Fatal("bad fabric accepted")
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w, err := NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				return fmt.Errorf("got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w, _ := NewWorld(2, nil)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf) // Send copies synchronously…
+			buf[0] = 99       // …so this mutation cannot reach the wire.
+		} else {
+			if got := c.Recv(0, 0); got[0] != 42 {
+				return fmt.Errorf("message mutated: %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchPanicsToError(t *testing.T) {
+	w, _ := NewWorld(2, nil)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+		} else {
+			c.Recv(0, 2)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("tag mismatch did not error")
+	}
+}
+
+func TestIntAndByteP2P(t *testing.T) {
+	w, _ := NewWorld(2, nil)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendInts(1, 0, []int64{-1, 5})
+			c.SendBytes(1, 1, []byte("hello"))
+		} else {
+			if got := c.RecvInts(0, 0); got[1] != 5 {
+				return fmt.Errorf("ints: %v", got)
+			}
+			if got := c.RecvBytes(0, 1); string(got) != "hello" {
+				return fmt.Errorf("bytes: %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, p := range worldSizes() {
+		w, _ := NewWorld(p, nil)
+		counter := make([]int, p)
+		err := w.Run(func(c *Comm) error {
+			counter[c.Rank()] = 1
+			c.Barrier()
+			for r, v := range counter {
+				if v != 1 {
+					return fmt.Errorf("rank %d not arrived before barrier exit (saw from %d)", r, c.Rank())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, p := range worldSizes() {
+		for root := 0; root < p; root++ {
+			w, _ := NewWorld(p, nil)
+			err := w.Run(func(c *Comm) error {
+				var buf []float64
+				if c.Rank() == root {
+					buf = []float64{3.5, float64(root)}
+				}
+				got := c.Bcast(root, buf)
+				if len(got) != 2 || got[0] != 3.5 || got[1] != float64(root) {
+					return fmt.Errorf("rank %d got %v", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range worldSizes() {
+		w, _ := NewWorld(p, nil)
+		err := w.Run(func(c *Comm) error {
+			data := []float64{float64(c.Rank()), 1}
+			got := c.Reduce(0, Sum, data)
+			if c.Rank() == 0 {
+				wantA := float64(p*(p-1)) / 2
+				if got[0] != wantA || got[1] != float64(p) {
+					return fmt.Errorf("reduce got %v", got)
+				}
+			} else if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceMatchesGatherReduceBcastProperty(t *testing.T) {
+	// Semantics property: allreduce(op) == what every rank would get from
+	// gather → fold → bcast.
+	for _, p := range worldSizes() {
+		for _, op := range []struct {
+			name string
+			op   Op
+		}{{"sum", Sum}, {"max", Max}, {"min", Min}} {
+			w, _ := NewWorld(p, nil)
+			err := w.Run(func(c *Comm) error {
+				v := []float64{float64((c.Rank()*7)%5) - 2, float64(c.Rank())}
+				all := c.Allreduce(op.op, v)
+				// Independent computation of the expected fold.
+				want0, want1 := float64((0*7)%5)-2, 0.0
+				for r := 1; r < p; r++ {
+					want0 = op.op(want0, float64((r*7)%5)-2)
+					want1 = op.op(want1, float64(r))
+				}
+				if all[0] != want0 || all[1] != want1 {
+					return fmt.Errorf("rank %d %s: got %v want [%v %v]", c.Rank(), op.name, all, want0, want1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	for _, p := range worldSizes() {
+		w, _ := NewWorld(p, nil)
+		err := w.Run(func(c *Comm) error {
+			parts := c.Gather(0, []float64{float64(c.Rank() * 10)})
+			if c.Rank() == 0 {
+				for r := 0; r < p; r++ {
+					if parts[r][0] != float64(r*10) {
+						return fmt.Errorf("gather parts %v", parts)
+					}
+				}
+				pieces := make([][]float64, p)
+				for r := range pieces {
+					pieces[r] = []float64{float64(r * 100)}
+				}
+				mine := c.Scatter(0, pieces)
+				if mine[0] != 0 {
+					return fmt.Errorf("root scatter piece %v", mine)
+				}
+			} else {
+				mine := c.Scatter(0, nil)
+				if mine[0] != float64(c.Rank()*100) {
+					return fmt.Errorf("rank %d scatter piece %v", c.Rank(), mine)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range worldSizes() {
+		w, _ := NewWorld(p, nil)
+		err := w.Run(func(c *Comm) error {
+			all := c.Allgather([]float64{float64(c.Rank()), float64(c.Rank() * 2)})
+			for r := 0; r < p; r++ {
+				if all[r][0] != float64(r) || all[r][1] != float64(r*2) {
+					return fmt.Errorf("rank %d: allgather[%d] = %v", c.Rank(), r, all[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllgatherInts(t *testing.T) {
+	w, _ := NewWorld(5, nil)
+	err := w.Run(func(c *Comm) error {
+		all := c.AllgatherInts([]int64{int64(c.Rank() * 3)})
+		for r := 0; r < 5; r++ {
+			if all[r][0] != int64(r*3) {
+				return fmt.Errorf("allgather ints %v", all)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallInts(t *testing.T) {
+	for _, p := range worldSizes() {
+		w, _ := NewWorld(p, nil)
+		err := w.Run(func(c *Comm) error {
+			send := make([][]int64, p)
+			for d := range send {
+				send[d] = []int64{int64(c.Rank()*100 + d)}
+			}
+			got := c.AlltoallInts(send)
+			for s := 0; s < p; s++ {
+				want := int64(s*100 + c.Rank())
+				if got[s][0] != want {
+					return fmt.Errorf("rank %d: from %d got %v want %d", c.Rank(), s, got[s], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestVirtualTimeP2P(t *testing.T) {
+	fab := netsim.FastEthernet()
+	w, _ := NewWorld(2, fab)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 1000))
+		} else {
+			c.Recv(0, 0)
+			want := fab.PointToPoint(8000)
+			if math.Abs(c.Now()-want) > 1e-9 {
+				return fmt.Errorf("receiver clock %g, want %g", c.Now(), want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxTime() <= 0 {
+		t.Fatal("MaxTime not advanced")
+	}
+	if w.TotalBytes() != 8000 {
+		t.Fatalf("TotalBytes = %d, want 8000", w.TotalBytes())
+	}
+	if w.TotalMessages() != 1 {
+		t.Fatalf("TotalMessages = %d", w.TotalMessages())
+	}
+}
+
+func TestVirtualTimeComputeOverlapsAcrossRanks(t *testing.T) {
+	// Two ranks computing 1s each in parallel: makespan ~1s, not 2s.
+	w, _ := NewWorld(2, netsim.FastEthernet())
+	err := w.Run(func(c *Comm) error {
+		c.AddCompute(1.0)
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt := w.MaxTime(); mt < 1.0 || mt > 1.01 {
+		t.Fatalf("makespan %g, want ≈1s", mt)
+	}
+}
+
+func TestVirtualTimeBcastMatchesAnalyticalModel(t *testing.T) {
+	// The emergent virtual time of the p2p-built broadcast must be within
+	// a small factor of netsim's closed-form estimate.
+	fab := netsim.FastEthernet()
+	for _, p := range []int{2, 4, 8, 16} {
+		w, _ := NewWorld(p, fab)
+		const n = 1 << 12
+		err := w.Run(func(c *Comm) error {
+			var buf []float64
+			if c.Rank() == 0 {
+				buf = make([]float64, n)
+			}
+			c.Bcast(0, buf)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := w.MaxTime()
+		want := fab.Bcast(p, n*8)
+		if got > want*1.5 || got < want*0.3 {
+			t.Fatalf("p=%d: emergent bcast time %g vs analytical %g", p, got, want)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	w, _ := NewWorld(4, netsim.FastEthernet())
+	times := make([]float64, 4)
+	err := w.Run(func(c *Comm) error {
+		c.AddCompute(float64(c.Rank()) * 0.1) // skewed loads
+		c.Barrier()
+		times[c.Rank()] = c.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clocks must be at least the slowest rank's pre-barrier time.
+	for r, ti := range times {
+		if ti < 0.3 {
+			t.Fatalf("rank %d clock %g below straggler time 0.3", r, ti)
+		}
+	}
+}
+
+func TestAddComputeNegativePanics(t *testing.T) {
+	w, _ := NewWorld(1, nil)
+	err := w.Run(func(c *Comm) error {
+		c.AddCompute(-1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("negative compute accepted")
+	}
+}
+
+func TestSelfSendPanicsToError(t *testing.T) {
+	w, _ := NewWorld(2, nil)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(0, 0, []float64{1})
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("self-send accepted")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	w, _ := NewWorld(3, nil)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestScalarAllreduce(t *testing.T) {
+	w, _ := NewWorld(6, nil)
+	err := w.Run(func(c *Comm) error {
+		if got := c.AllreduceScalar(Max, float64(c.Rank())); got != 5 {
+			return fmt.Errorf("max = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package nas
+
+// BT is the block-tridiagonal simulated CFD application: an
+// alternating-direction-implicit iteration whose x, y and z sweeps each
+// solve, for every grid line, a block-tridiagonal system with dense 5×5
+// blocks — NPB BT's defining computational pattern.
+type BT struct{}
+
+// NewBTKernel returns the kernel.
+func NewBTKernel() *BT { return &BT{} }
+
+// Name implements Kernel.
+func (*BT) Name() string { return "BT" }
+
+func btSize(c Class) (n, iters int, ok bool) {
+	switch c {
+	case ClassS:
+		return 12, 40, true
+	case ClassW:
+		return 24, 40, true
+	case ClassA:
+		return 64, 40, true
+	}
+	return 0, 0, false
+}
+
+// btGoldens: recorded solution checksums per class (this implementation).
+var btGoldens = map[Class]float64{
+	ClassS: -1.168016584833e+02,
+	ClassW: -3.524331300807e+02,
+}
+
+// Run implements Kernel.
+func (b *BT) Run(class Class) (*Result, error) {
+	n, iters, ok := btSize(class)
+	if !ok {
+		return nil, ErrClass("BT", class)
+	}
+	const (
+		nu  = 1.0
+		tau = 0.6
+	)
+	p := newCFDProblem(n, nu, 0)
+	var w blasWork
+	d := p.dim()
+	r := make([]Vec5, d*d*d)
+	delta := make([]Vec5, d*d*d)
+
+	// Per-line scratch (reused across lines).
+	sub := make([]Mat5, n)
+	diag := make([]Mat5, n)
+	sup := make([]Mat5, n)
+	rhs := make([]Vec5, n)
+
+	// Implicit blocks for (I + τ·A_d): constant along every line.
+	var diagBlock, offBlock Mat5
+	for i := 0; i < NComp; i++ {
+		for j := 0; j < NComp; j++ {
+			diagBlock[i*NComp+j] = tau / 3 * p.m[i*NComp+j]
+			if i == j {
+				diagBlock[i*NComp+j]++
+			}
+		}
+		offBlock[i*NComp+i] = -tau * nu
+	}
+
+	initialErr := p.errorRMS()
+	lo := cfdGhost
+
+	// sweep solves (I+τA_d)·out = in along direction d (stride), writing
+	// the line solutions into out.
+	sweep := func(in, out []Vec5, stride int) {
+		for a := lo; a < lo+n; a++ {
+			for bI := lo; bI < lo+n; bI++ {
+				// The line runs along the stride axis; (a,b) fix the
+				// other two. Compute the base cell index.
+				var base int
+				switch stride {
+				case d * d: // x-line: vary i
+					base = p.idx(lo, a, bI)
+				case d: // y-line: vary j
+					base = p.idx(a, lo, bI)
+				default: // z-line: vary k
+					base = p.idx(a, bI, lo)
+				}
+				for i := 0; i < n; i++ {
+					sub[i] = offBlock
+					diag[i] = diagBlock
+					sup[i] = offBlock
+					rhs[i] = in[base+i*stride]
+				}
+				blockTriSolve(sub, diag, sup, rhs, &w)
+				for i := 0; i < n; i++ {
+					out[base+i*stride] = rhs[i]
+				}
+			}
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		p.residual(r, &w)
+		// Scale by τ.
+		for i := range r {
+			for c := 0; c < NComp; c++ {
+				r[i][c] *= tau
+			}
+		}
+		sweep(r, delta, d*d)
+		sweep(delta, r, d)
+		sweep(r, delta, 1)
+		lo2, hi2 := cfdGhost, cfdGhost+n-1
+		for i := lo2; i <= hi2; i++ {
+			for j := lo2; j <= hi2; j++ {
+				for k := lo2; k <= hi2; k++ {
+					c := p.idx(i, j, k)
+					for comp := 0; comp < NComp; comp++ {
+						p.u[c][comp] += delta[c][comp]
+					}
+				}
+			}
+		}
+	}
+
+	finalErr := p.errorRMS()
+	verified := finalErr < initialErr/100 && finalErr < 1e-3
+	cs := p.checksum()
+	if g, ok := btGoldens[class]; ok {
+		verified = verified && closeTo(cs, g)
+	}
+	return cfdResult("BT", class, &w, uint64(d*d*d*8), uint64(d*d*d*2), iters, verified, cs), nil
+}

@@ -1,0 +1,212 @@
+package nas
+
+import "math"
+
+// The simulated-CFD kernels (BT, SP, LU) share one manufactured
+// five-component elliptic problem
+//
+//	A·u = f,   (A·u)_c = M·u_c − ν·Σ_{6 neighbours} u_nb  (+ optional
+//	            fourth-difference dissipation for SP)
+//
+// on an n³ grid with Dirichlet boundaries taken from the exact solution,
+// where M is a dense, diagonally dominant 5×5 coupling block. f is
+// computed by applying A to the exact solution, so every solver's error
+// is exactly measurable — this replaces NPB's Navier–Stokes
+// discretization while preserving each benchmark's distinguishing solve
+// structure (BT: block-tridiagonal ADI; SP: scalar pentadiagonal ADI;
+// LU: SSOR with 5×5 blocks). See the package comment and DESIGN.md.
+
+// cfdProblem is one manufactured instance.
+type cfdProblem struct {
+	n   int // interior cells per dimension
+	nu  float64
+	eps float64 // 4th-difference dissipation (SP only)
+	m   Mat5    // coupling block
+	// u and f are (n+4)³ Vec5 grids with a 2-cell ghost frame (the wide
+	// frame serves SP's five-point bands).
+	u, f []Vec5
+}
+
+const cfdGhost = 2
+
+func (p *cfdProblem) dim() int { return p.n + 2*cfdGhost }
+
+func (p *cfdProblem) idx(i, j, k int) int {
+	d := p.dim()
+	return (i*d+j)*d + k
+}
+
+// exact is the manufactured solution: smooth trigonometric fields,
+// distinct per component.
+func (p *cfdProblem) exact(i, j, k, comp int) float64 {
+	h := 1.0 / float64(p.n+1)
+	x := float64(i-cfdGhost+1) * h
+	y := float64(j-cfdGhost+1) * h
+	z := float64(k-cfdGhost+1) * h
+	c := float64(comp + 1)
+	return math.Sin(c*math.Pi*x+0.3*c) * math.Cos((c+1)*math.Pi*y) * math.Sin((c+0.5)*math.Pi*z+0.1*c)
+}
+
+// newCFDProblem builds the problem with u initialized to zero in the
+// interior and to the exact solution on the ghost frame.
+func newCFDProblem(n int, nu, eps float64) *cfdProblem {
+	p := &cfdProblem{n: n, nu: nu, eps: eps}
+	d := p.dim()
+	p.u = make([]Vec5, d*d*d)
+	p.f = make([]Vec5, d*d*d)
+
+	// Coupling block: strongly diagonally dominant with dense smaller
+	// off-diagonal entries (the inter-equation coupling BT/LU see).
+	diag := 6*nu + 1 + 12*eps
+	for i := 0; i < NComp; i++ {
+		for j := 0; j < NComp; j++ {
+			if i == j {
+				p.m[i*NComp+j] = diag
+			} else {
+				p.m[i*NComp+j] = 0.02 * nu * float64(1+((i+j)%3))
+			}
+		}
+	}
+
+	// Ghost frame (and a scratch exact field for f).
+	ue := make([]Vec5, d*d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			for k := 0; k < d; k++ {
+				for c := 0; c < NComp; c++ {
+					ue[p.idx(i, j, k)][c] = p.exact(i, j, k, c)
+				}
+			}
+		}
+	}
+	// f = A·uexact on the interior.
+	var w blasWork
+	p.applyA(ue, p.f, &w)
+	// Boundary of u = exact (ghost frame); interior starts at zero.
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			for k := 0; k < d; k++ {
+				if p.interior(i, j, k) {
+					continue
+				}
+				p.u[p.idx(i, j, k)] = ue[p.idx(i, j, k)]
+			}
+		}
+	}
+	return p
+}
+
+func (p *cfdProblem) interior(i, j, k int) bool {
+	lo, hi := cfdGhost, cfdGhost+p.n-1
+	return i >= lo && i <= hi && j >= lo && j <= hi && k >= lo && k <= hi
+}
+
+// applyA computes out = A·in on the interior (out's frame is untouched).
+func (p *cfdProblem) applyA(in, out []Vec5, w *blasWork) {
+	lo, hi := cfdGhost, cfdGhost+p.n-1
+	d := p.dim()
+	strideI, strideJ := d*d, d
+	for i := lo; i <= hi; i++ {
+		for j := lo; j <= hi; j++ {
+			for k := lo; k <= hi; k++ {
+				c := p.idx(i, j, k)
+				var y Vec5
+				p.m.MulVec(&in[c], &y, w)
+				for comp := 0; comp < NComp; comp++ {
+					nb := in[c-strideI][comp] + in[c+strideI][comp] +
+						in[c-strideJ][comp] + in[c+strideJ][comp] +
+						in[c-1][comp] + in[c+1][comp]
+					v := y[comp] - p.nu*nb
+					if p.eps > 0 {
+						// Fourth-difference dissipation along each axis
+						// (the term that makes SP's systems pentadiagonal).
+						d4 := in[c-2*strideI][comp] - 4*in[c-strideI][comp] - 4*in[c+strideI][comp] + in[c+2*strideI][comp] +
+							in[c-2*strideJ][comp] - 4*in[c-strideJ][comp] - 4*in[c+strideJ][comp] + in[c+2*strideJ][comp] +
+							in[c-2][comp] - 4*in[c-1][comp] - 4*in[c+1][comp] + in[c+2][comp] +
+							18*in[c][comp]
+						v += p.eps * d4
+					}
+					out[c][comp] = v
+				}
+				w.axpy5 += 2
+			}
+		}
+	}
+}
+
+// residual computes r = f − A·u on the interior and returns its RMS.
+func (p *cfdProblem) residual(r []Vec5, w *blasWork) float64 {
+	p.applyA(p.u, r, w)
+	lo, hi := cfdGhost, cfdGhost+p.n-1
+	var sum float64
+	cnt := 0
+	for i := lo; i <= hi; i++ {
+		for j := lo; j <= hi; j++ {
+			for k := lo; k <= hi; k++ {
+				c := p.idx(i, j, k)
+				for comp := 0; comp < NComp; comp++ {
+					r[c][comp] = p.f[c][comp] - r[c][comp]
+					sum += r[c][comp] * r[c][comp]
+				}
+				cnt += NComp
+			}
+		}
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+// errorRMS returns the RMS difference between u and the exact solution.
+func (p *cfdProblem) errorRMS() float64 {
+	lo, hi := cfdGhost, cfdGhost+p.n-1
+	var sum float64
+	cnt := 0
+	for i := lo; i <= hi; i++ {
+		for j := lo; j <= hi; j++ {
+			for k := lo; k <= hi; k++ {
+				c := p.idx(i, j, k)
+				for comp := 0; comp < NComp; comp++ {
+					d := p.u[c][comp] - p.exact(i, j, k, comp)
+					sum += d * d
+				}
+				cnt += NComp
+			}
+		}
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+// checksum folds the solution into a scalar for golden comparisons.
+func (p *cfdProblem) checksum() float64 {
+	lo, hi := cfdGhost, cfdGhost+p.n-1
+	var s float64
+	for i := lo; i <= hi; i++ {
+		for j := lo; j <= hi; j++ {
+			for k := lo; k <= hi; k++ {
+				c := p.idx(i, j, k)
+				for comp := 0; comp < NComp; comp++ {
+					s += p.u[c][comp] * float64(1+(i+2*j+3*k+comp)%7)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// cfdResult assembles a Result from the shared bookkeeping.
+func cfdResult(kernel string, class Class, w *blasWork, extraLoads, extraStores uint64, iterations int, verified bool, checksum float64) *Result {
+	fpAdd, fpMul, fpDiv := w.flopCounts()
+	res := &Result{
+		Kernel:   kernel,
+		Class:    class,
+		Verified: verified,
+		Checksum: checksum,
+		Ops:      float64(fpAdd + fpMul + fpDiv),
+	}
+	// Memory traffic estimate: block algebra streams its operands.
+	loads := fpMul + extraLoads
+	stores := fpMul/4 + extraStores
+	res.Mix = mixFromCounts(fpAdd, fpMul, fpDiv, 0, loads, stores,
+		(fpAdd+fpMul)/4, (fpAdd+fpMul)/50)
+	_ = iterations
+	return res
+}

@@ -1,0 +1,10 @@
+package nas
+
+// Constructors for the kernel lists.
+func NewBT() Kernel { return NewBTKernel() }
+func NewSP() Kernel { return NewSPKernel() }
+func NewLU() Kernel { return NewLUKernel() }
+func NewMG() Kernel { return NewMGKernel() }
+func NewIS() Kernel { return NewISKernel() }
+func NewCG() Kernel { return NewCGKernel() }
+func NewFT() Kernel { return NewFTKernel() }

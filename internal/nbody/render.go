@@ -1,0 +1,101 @@
+package nbody
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// DensityImage is a log-scaled projected surface-density map of the
+// particle distribution — the kind of view Figure 3 shows of the
+// 9.7-million-particle run.
+type DensityImage struct {
+	W, H int
+	// Pix holds 0..255 grayscale values, row-major.
+	Pix []byte
+}
+
+// RenderDensity projects the system onto the x–y plane over the given
+// bounds and log-scales counts into grayscale.
+func RenderDensity(s *System, w, h int, xmin, xmax, ymin, ymax float64) (*DensityImage, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("nbody: bad image size %dx%d", w, h)
+	}
+	if xmax <= xmin || ymax <= ymin {
+		return nil, fmt.Errorf("nbody: empty render bounds")
+	}
+	counts := make([]float64, w*h)
+	for i := 0; i < s.N(); i++ {
+		px := int(float64(w) * (s.X[i] - xmin) / (xmax - xmin))
+		py := int(float64(h) * (s.Y[i] - ymin) / (ymax - ymin))
+		if px < 0 || px >= w || py < 0 || py >= h {
+			continue
+		}
+		counts[py*w+px] += s.M[i]
+	}
+	maxC := 0.0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	img := &DensityImage{W: w, H: h, Pix: make([]byte, w*h)}
+	if maxC == 0 {
+		return img, nil
+	}
+	logMax := math.Log1p(maxC * 1e6)
+	for i, c := range counts {
+		img.Pix[i] = byte(255 * math.Log1p(c*1e6) / logMax)
+	}
+	return img, nil
+}
+
+// RenderAuto renders with bounds fit to the particle distribution plus a
+// 5% margin.
+func RenderAuto(s *System, w, h int) (*DensityImage, error) {
+	if s.N() == 0 {
+		return nil, fmt.Errorf("nbody: empty system")
+	}
+	xmin, xmax := s.X[0], s.X[0]
+	ymin, ymax := s.Y[0], s.Y[0]
+	for i := 1; i < s.N(); i++ {
+		xmin = math.Min(xmin, s.X[i])
+		xmax = math.Max(xmax, s.X[i])
+		ymin = math.Min(ymin, s.Y[i])
+		ymax = math.Max(ymax, s.Y[i])
+	}
+	mx := 0.05 * (xmax - xmin)
+	my := 0.05 * (ymax - ymin)
+	if mx == 0 {
+		mx = 1
+	}
+	if my == 0 {
+		my = 1
+	}
+	return RenderDensity(s, w, h, xmin-mx, xmax+mx, ymin-my, ymax+my)
+}
+
+// WritePGM emits the image as a binary PGM (P5) stream.
+func (img *DensityImage) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", img.W, img.H); err != nil {
+		return err
+	}
+	_, err := w.Write(img.Pix)
+	return err
+}
+
+// ASCII renders the image as text with a 10-step brightness ramp, for
+// terminal output.
+func (img *DensityImage) ASCII() string {
+	const ramp = " .:-=+*#%@"
+	var b strings.Builder
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			v := int(img.Pix[y*img.W+x]) * (len(ramp) - 1) / 255
+			b.WriteByte(ramp[v])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+// Package netsim models the MetaBlade cluster's interconnect: 100 Mb/s
+// switched Fast Ethernet in a star topology (paper §3.1), generalized so
+// the network-bandwidth ablation can sweep 10/100/1000 Mb/s. The model is
+// LogGP-flavoured: a per-message software overhead (the 2001-era TCP/IP +
+// MPI stack), a per-hop wire/switch latency, and a per-byte serialization
+// cost on each link. The switch is non-blocking (full bisection across
+// ports), so simultaneous transfers on distinct port pairs do not contend,
+// but a node's single NIC serializes its own traffic.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fabric describes one interconnect.
+type Fabric struct {
+	Name string
+	// BandwidthBps is the per-link data rate in bits per second.
+	BandwidthBps float64
+	// SoftwareOverhead is the per-message send+receive CPU/stack cost in
+	// seconds (TCP/IP + MPI layers dominate on Fast Ethernet).
+	SoftwareOverhead float64
+	// HopLatency is the one-way wire+switch latency in seconds per hop.
+	HopLatency float64
+	// Hops between two nodes through the star (node→switch→node = 2).
+	Hops int
+	// StoreAndForward adds a full serialization delay per intermediate
+	// hop, as a 2001-era store-and-forward switch does.
+	StoreAndForward bool
+}
+
+// FastEthernet returns the paper's fabric: 100 Mb/s switched Ethernet with
+// a TCP/IP-stack-dominated message overhead.
+func FastEthernet() *Fabric {
+	return &Fabric{
+		Name:             "100 Mb/s switched Fast Ethernet",
+		BandwidthBps:     100e6,
+		SoftwareOverhead: 70e-6,
+		HopLatency:       5e-6,
+		Hops:             2,
+		StoreAndForward:  true,
+	}
+}
+
+// Ethernet10 returns plain 10 Mb/s Ethernet (for the bandwidth ablation).
+func Ethernet10() *Fabric {
+	f := FastEthernet()
+	f.Name = "10 Mb/s Ethernet"
+	f.BandwidthBps = 10e6
+	return f
+}
+
+// GigabitEthernet returns 1000 Mb/s Ethernet (for the bandwidth ablation).
+func GigabitEthernet() *Fabric {
+	f := FastEthernet()
+	f.Name = "1000 Mb/s Gigabit Ethernet"
+	f.BandwidthBps = 1000e6
+	f.SoftwareOverhead = 40e-6
+	return f
+}
+
+// Validate checks the parameters.
+func (f *Fabric) Validate() error {
+	if f.BandwidthBps <= 0 {
+		return fmt.Errorf("netsim: %s: non-positive bandwidth", f.Name)
+	}
+	if f.SoftwareOverhead < 0 || f.HopLatency < 0 {
+		return fmt.Errorf("netsim: %s: negative latency", f.Name)
+	}
+	if f.Hops < 1 {
+		return fmt.Errorf("netsim: %s: hops must be ≥ 1", f.Name)
+	}
+	return nil
+}
+
+// serialize returns the wire time for a payload of the given size on one
+// link, including rough framing overhead (Ethernet + IP + TCP headers per
+// 1500-byte MTU frame).
+func (f *Fabric) serialize(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	const mtu = 1460.0 // payload per frame
+	frames := math.Ceil(float64(bytes) / mtu)
+	wireBytes := float64(bytes) + frames*78 // header + preamble + gap
+	return wireBytes * 8 / f.BandwidthBps
+}
+
+// PointToPoint returns the end-to-end time for one message of the given
+// payload size between two nodes.
+func (f *Fabric) PointToPoint(bytes int) float64 {
+	t := f.SoftwareOverhead + float64(f.Hops)*f.HopLatency
+	if f.StoreAndForward {
+		// Each hop fully serializes the message.
+		t += float64(f.Hops) * f.serialize(bytes)
+	} else {
+		t += f.serialize(bytes)
+	}
+	return t
+}
+
+// Barrier returns the time for a dissemination barrier over p nodes:
+// ceil(log2 p) rounds of zero-payload messages.
+func (f *Fabric) Barrier(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	return rounds * f.PointToPoint(0)
+}
+
+// Bcast returns the time to broadcast bytes from one root to p-1 others
+// using a binomial tree.
+func (f *Fabric) Bcast(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	return rounds * f.PointToPoint(bytes)
+}
+
+// Reduce returns the time for a binomial-tree reduction of bytes to a
+// root. Identical in structure to Bcast; per-element combine cost is paid
+// by the compute model, not the fabric.
+func (f *Fabric) Reduce(p, bytes int) float64 { return f.Bcast(p, bytes) }
+
+// Allreduce returns reduce + broadcast (the MPICH-era algorithm on
+// Ethernet for small and medium payloads).
+func (f *Fabric) Allreduce(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return f.Reduce(p, bytes) + f.Bcast(p, bytes)
+}
+
+// Allgather returns the time for a ring allgather where every node
+// contributes bytes and receives (p-1)·bytes: p-1 rounds of neighbour
+// exchanges, all links busy in parallel.
+func (f *Fabric) Allgather(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * f.PointToPoint(bytes)
+}
+
+// AllToAll returns the time for a full personalized exchange of bytes per
+// pair: p-1 rounds, each a simultaneous pairwise exchange (the NIC
+// serializes each node's send stream).
+func (f *Fabric) AllToAll(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * f.PointToPoint(bytes)
+}
+
+// EffectiveBandwidth reports the achieved payload bandwidth (bytes/s) for
+// a given message size — useful for validating the model against the
+// familiar half-bandwidth point.
+func (f *Fabric) EffectiveBandwidth(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / f.PointToPoint(bytes)
+}

@@ -1,0 +1,68 @@
+package rsqrt
+
+import (
+	"fmt"
+	"math"
+)
+
+// MonomialTable builds the Karp lookup table in the form the ISA kernel
+// consumes: for each (exponent-parity p, mantissa-interval j) entry, the
+// polynomial approximating 1/sqrt(2^p · m) is expressed directly in the
+// mantissa value m ∈ [1,2) (monomial basis), so the generated assembly can
+// evaluate it with a plain Horner loop — no interval renormalization.
+//
+// Layout: entry idx = (p << tableBits) | j holds deg+1 coefficients at
+// [idx*(deg+1)+k], constant term first: y ≈ Σ c_k · m^k.
+func MonomialTable(tableBits, deg int) ([]float64, error) {
+	if tableBits < 2 || tableBits > 12 {
+		return nil, fmt.Errorf("rsqrt: tableBits %d out of [2,12]", tableBits)
+	}
+	if deg < 0 || deg > 4 {
+		return nil, fmt.Errorf("rsqrt: deg %d out of [0,4]", deg)
+	}
+	n := 1 << tableBits
+	out := make([]float64, 2*n*(deg+1))
+	for p := 0; p < 2; p++ {
+		scale := 1.0
+		if p == 1 {
+			scale = 2.0
+		}
+		for j := 0; j < n; j++ {
+			a := 1 + float64(j)/float64(n)
+			b := 1 + float64(j+1)/float64(n)
+			// Fit over u ∈ [-1,1], then change basis to m.
+			cu := chebFit(a, b, deg, func(m float64) float64 {
+				return 1 / math.Sqrt(scale*m)
+			})
+			cm := changeBasisToM(cu, a, b)
+			copy(out[((p<<tableBits)|j)*(deg+1):], cm)
+		}
+	}
+	return out, nil
+}
+
+// changeBasisToM converts coefficients over u = (2m-a-b)/(b-a) into
+// coefficients over m by polynomial substitution u = α·m + β.
+func changeBasisToM(cu []float64, a, b float64) []float64 {
+	alpha := 2 / (b - a)
+	beta := -(a + b) / (b - a)
+	n := len(cu)
+	out := make([]float64, n)
+	// (α·m + β)^k expanded iteratively.
+	pow := make([]float64, 1, n) // coefficients of (αm+β)^k in m
+	pow[0] = 1
+	for k := 0; k < n; k++ {
+		for j := 0; j < len(pow); j++ {
+			out[j] += cu[k] * pow[j]
+		}
+		if k < n-1 {
+			next := make([]float64, len(pow)+1)
+			for j := 0; j < len(pow); j++ {
+				next[j] += beta * pow[j]
+				next[j+1] += alpha * pow[j]
+			}
+			pow = next
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package rsqrt
+
+import (
+	"math"
+	"testing"
+)
+
+// evalMonomial mirrors what the generated ISA code does.
+func evalMonomial(table []float64, tableBits, deg int, x float64) float64 {
+	bits := math.Float64bits(x)
+	bexp := int(bits >> 52 & 0x7FF)
+	mant := bits & (1<<52 - 1)
+	p := (bexp + 1) & 1 // parity of (bexp-1023), 1023 odd
+	m := math.Float64frombits(1023<<52 | mant)
+	j := int(mant >> (52 - uint(tableBits)))
+	idx := (p << tableBits) | j
+	base := idx * (deg + 1)
+	y := table[base+deg]
+	for k := deg - 1; k >= 0; k-- {
+		y = y*m + table[base+k]
+	}
+	// scale = 2^-s where s = (exp - p)/2; via biased arithmetic
+	// scaleBexp = (3069 + p - bexp) >> 1.
+	scaleBits := uint64((3069+p-bexp)>>1) << 52
+	return y * math.Float64frombits(scaleBits)
+}
+
+func TestMonomialTableSeedAccuracy(t *testing.T) {
+	const bits, deg = 7, 2
+	table, err := MonomialTable(bits, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(-10 + 20*float64(i)/19999)
+		want := 1 / math.Sqrt(x)
+		got := evalMonomial(table, bits, deg, x)
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 1e-6 {
+		t.Fatalf("monomial seed max rel error %g, want ≤ 1e-6", worst)
+	}
+}
+
+func TestMonomialTableWithNRFullPrecision(t *testing.T) {
+	const bits, deg = 7, 2
+	table, _ := MonomialTable(bits, deg)
+	for _, x := range []float64{0.3, 1, 2, 3.7, 4, 17, 1e6, 1e-6, 123.456} {
+		y := evalMonomial(table, bits, deg, x)
+		for i := 0; i < 2; i++ {
+			y = y * (1.5 - 0.5*x*y*y)
+		}
+		want := 1 / math.Sqrt(x)
+		if math.Abs(y-want)/want > 1e-14 {
+			t.Errorf("x=%v: %v, want %v", x, y, want)
+		}
+	}
+}
+
+func TestMonomialTableParamValidation(t *testing.T) {
+	if _, err := MonomialTable(1, 2); err == nil {
+		t.Error("tableBits=1 accepted")
+	}
+	if _, err := MonomialTable(7, 9); err == nil {
+		t.Error("deg=9 accepted")
+	}
+}
+
+func TestMonomialExponentScaleFormula(t *testing.T) {
+	// The biased-exponent identity used by the ISA kernel: for any normal
+	// positive x, 2^-s == Float64frombits(((3069+p-bexp)>>1)<<52).
+	for _, x := range []float64{1, 2, 4, 8, 0.5, 0.25, 3, 5, 1e100, 1e-100} {
+		bits := math.Float64bits(x)
+		bexp := int(bits >> 52 & 0x7FF)
+		exp := bexp - 1023
+		p := ((exp % 2) + 2) % 2
+		s := (exp - p) / 2
+		want := math.Ldexp(1, -s)
+		got := math.Float64frombits(uint64((3069+p-bexp)>>1) << 52)
+		if want != got {
+			t.Fatalf("x=%v: scale %v != %v", x, got, want)
+		}
+		if pp := (bexp + 1) & 1; pp != p {
+			t.Fatalf("x=%v: parity via bexp %d != %d", x, pp, p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+// Resource models a FIFO-served resource with fixed capacity (e.g. a
+// network link or a switch port). Acquire requests queue up; each grant
+// runs the supplied callback when capacity becomes available.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []func()
+	// Busy accumulates capacity-seconds of use, for utilisation reports.
+	busy     float64
+	lastTick Time
+}
+
+// NewResource creates a resource with the given capacity (>0) attached to
+// the engine.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity, lastTick: eng.Now()}
+}
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting acquisitions.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	r.busy += float64(r.inUse) * (now - r.lastTick)
+	r.lastTick = now
+}
+
+// Utilisation returns busy capacity-seconds accumulated so far.
+func (r *Resource) Utilisation() float64 {
+	r.account()
+	return r.busy
+}
+
+// Acquire requests one unit; when granted, the callback fires (possibly
+// immediately, in the current event).
+func (r *Resource) Acquire(granted func()) {
+	r.account()
+	if r.inUse < r.capacity {
+		r.inUse++
+		granted()
+		return
+	}
+	r.waiters = append(r.waiters, granted)
+}
+
+// Release returns one unit and grants the oldest waiter, if any.
+func (r *Resource) Release() {
+	r.account()
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		next() // unit passes directly to the waiter
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for dur simulated seconds, then
+// releases it and runs done (which may be nil).
+func (r *Resource) Use(dur Time, done func()) {
+	r.Acquire(func() {
+		r.eng.Schedule(dur, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}

@@ -1,0 +1,181 @@
+// Package sim provides a small discrete-event simulation core used by the
+// cluster, network, and processor models. Time is a float64 number of
+// seconds; events are ordered by (time, sequence) so simultaneous events
+// fire in schedule order, which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// Event is a scheduled callback. The callback runs with the engine clock
+// already advanced to the event's time.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// At returns the simulated time at which the event fires (or fired).
+func (e *Event) At() Time { return e.at }
+
+// Cancel removes the event from the schedule. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events that have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay seconds of simulated time. It
+// panics if delay is negative or NaN: scheduling into the past would break
+// causality for every model built on top.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time at. It panics if at is
+// before the current clock.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now || math.IsNaN(at) {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step fires the single next event. It returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. It returns the final clock.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// deadline (if the clock has not passed it already) and returns it.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// ErrLimit is returned by RunLimited when the event budget is exhausted.
+var ErrLimit = errors.New("sim: event limit reached")
+
+// RunLimited fires at most limit events; it returns ErrLimit if the queue
+// still has events afterwards. Use it to bound runaway models in tests.
+func (e *Engine) RunLimited(limit uint64) error {
+	for i := uint64(0); i < limit; i++ {
+		if !e.Step() {
+			return nil
+		}
+	}
+	if e.peek() != nil {
+		return ErrLimit
+	}
+	return nil
+}

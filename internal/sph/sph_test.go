@@ -1,0 +1,269 @@
+package sph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/treecode"
+)
+
+func TestKernelNormalization(t *testing.T) {
+	// ∫ W(r) 4πr² dr over [0, 2h] must be 1.
+	k, err := NewKernel(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 200000
+	dr := k.Support() / steps
+	integral := 0.0
+	for i := 0; i < steps; i++ {
+		r := (float64(i) + 0.5) * dr
+		integral += k.W(r) * 4 * math.Pi * r * r * dr
+	}
+	if math.Abs(integral-1) > 1e-4 {
+		t.Fatalf("kernel integral = %v, want 1", integral)
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	k, _ := NewKernel(1.0)
+	if k.W(0) <= 0 {
+		t.Fatal("W(0) not positive")
+	}
+	if k.W(2.0) != 0 || k.W(3.0) != 0 {
+		t.Fatal("kernel not compactly supported at 2h")
+	}
+	// Monotone decreasing on [0, 2h].
+	prev := k.W(0)
+	for r := 0.05; r <= 2.0; r += 0.05 {
+		w := k.W(r)
+		if w > prev+1e-14 {
+			t.Fatalf("kernel not monotone at r=%v", r)
+		}
+		prev = w
+	}
+	// Gradient: negative (inward) inside the support, continuous-ish at
+	// the branch point q=1.
+	if k.GradWOverR(0.5) >= 0 {
+		t.Fatal("gradient not negative inside support")
+	}
+	a := k.GradWOverR(0.999)
+	b := k.GradWOverR(1.001)
+	if math.Abs(a-b) > 0.01*math.Abs(a) {
+		t.Fatalf("gradient discontinuous at q=1: %v vs %v", a, b)
+	}
+	if _, err := NewKernel(0); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+}
+
+// latticeGas builds a uniform cubic lattice of gas with density ~rho0.
+func latticeGas(t *testing.T, side int, u0 float64) *Gas {
+	t.Helper()
+	n := side * side * side
+	s := nbody.NewSystem(n)
+	spacing := 1.0 / float64(side)
+	idx := 0
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			for k := 0; k < side; k++ {
+				s.X[idx] = (float64(i) + 0.5) * spacing
+				s.Y[idx] = (float64(j) + 0.5) * spacing
+				s.Z[idx] = (float64(k) + 0.5) * spacing
+				s.M[idx] = 1.0 / float64(n) // total mass 1 in unit volume
+				idx++
+			}
+		}
+	}
+	g, err := NewGas(s, 1.3*spacing, u0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDensitySummationOnLattice(t *testing.T) {
+	// Interior particles of a unit-density lattice must measure ρ ≈ 1.
+	g := latticeGas(t, 10, 1.0)
+	if _, err := g.ComputeDensity(); err != nil {
+		t.Fatal(err)
+	}
+	var interior []float64
+	for i := 0; i < g.N(); i++ {
+		if g.X[i] > 0.3 && g.X[i] < 0.7 && g.Y[i] > 0.3 && g.Y[i] < 0.7 && g.Z[i] > 0.3 && g.Z[i] < 0.7 {
+			interior = append(interior, g.Rho[i])
+		}
+	}
+	if len(interior) == 0 {
+		t.Fatal("no interior particles")
+	}
+	var mean float64
+	for _, r := range interior {
+		mean += r
+	}
+	mean /= float64(len(interior))
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("interior density %v, want ≈1", mean)
+	}
+	if g.NeighborCount < 20 || g.NeighborCount > 200 {
+		t.Fatalf("average neighbour count %v implausible", g.NeighborCount)
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	s := nbody.NewUniformCube(400, 9)
+	tr, err := treecode.Build(treecode.SourcesFromSystem(s), treecode.BuildOptions{Bucket: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const radius = 0.18
+	for probe := 0; probe < 20; probe++ {
+		x, y, z := s.X[probe*17%400], s.Y[probe*17%400], s.Z[probe*17%400]
+		got := tr.Neighbors(x, y, z, radius, nil)
+		want := map[int]bool{}
+		for i := range tr.Sources {
+			src := tr.Sources[i]
+			dx, dy, dz := src.X-x, src.Y-y, src.Z-z
+			if dx*dx+dy*dy+dz*dz <= radius*radius {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("probe %d: %d neighbours, brute force %d", probe, len(got), len(want))
+		}
+		for _, gi := range got {
+			if !want[gi] {
+				t.Fatalf("probe %d: spurious neighbour %d", probe, gi)
+			}
+		}
+	}
+}
+
+func TestPressureForcesConserveMomentum(t *testing.T) {
+	// The symmetric (Pi/ρi² + Pj/ρj²) formulation conserves momentum
+	// exactly up to roundoff.
+	g := latticeGas(t, 6, 1.0)
+	// Perturb so forces are nonzero.
+	for i := 0; i < g.N(); i++ {
+		g.X[i] += 0.004 * math.Sin(float64(7*i))
+		g.Y[i] += 0.004 * math.Cos(float64(3*i))
+	}
+	if _, err := g.Accelerations(); err != nil {
+		t.Fatal(err)
+	}
+	var fx, fy, fz, fmag float64
+	for i := 0; i < g.N(); i++ {
+		fx += g.M[i] * g.AX[i]
+		fy += g.M[i] * g.AY[i]
+		fz += g.M[i] * g.AZ[i]
+		fmag += g.M[i] * (math.Abs(g.AX[i]) + math.Abs(g.AY[i]) + math.Abs(g.AZ[i]))
+	}
+	net := math.Abs(fx) + math.Abs(fy) + math.Abs(fz)
+	if fmag == 0 {
+		t.Fatal("no forces at all")
+	}
+	if net > 1e-10*fmag {
+		t.Fatalf("net force %g not ≪ total force scale %g", net, fmag)
+	}
+}
+
+func TestUniformGasStaysNearlyStill(t *testing.T) {
+	// A uniform lattice with uniform pressure has (nearly) zero net
+	// force on interior particles.
+	g := latticeGas(t, 8, 1.0)
+	if _, err := g.Accelerations(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.X[i] > 0.35 && g.X[i] < 0.65 && g.Y[i] > 0.35 && g.Y[i] < 0.65 && g.Z[i] > 0.35 && g.Z[i] < 0.65 {
+			a := math.Abs(g.AX[i]) + math.Abs(g.AY[i]) + math.Abs(g.AZ[i])
+			// Pressure scale: P/(ρh) ~ (2/3)/0.16 ≈ 4; interior residuals
+			// must be far below it.
+			if a > 0.7 {
+				t.Fatalf("interior particle %d accelerating at %g in uniform gas", i, a)
+			}
+		}
+	}
+}
+
+func TestGasBallExpandsAndCools(t *testing.T) {
+	// A hot ball of gas in vacuum expands: kinetic energy grows, thermal
+	// energy falls, and their sum is approximately conserved (adiabatic,
+	// no gravity).
+	s := nbody.NewPlummer(300, 0.3, 11)
+	for i := range s.VX {
+		s.VX[i], s.VY[i], s.VZ[i] = 0, 0, 0
+	}
+	g, err := NewGas(s, 0.12, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AlphaVisc = 1.0
+	e0 := g.ThermalEnergy() + g.KineticEnergy()
+	if g.KineticEnergy() != 0 {
+		t.Fatal("gas not at rest initially")
+	}
+	for step := 0; step < 25; step++ {
+		if err := g.Step(0.002); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ek := g.KineticEnergy()
+	eth := g.ThermalEnergy()
+	if ek <= 0 {
+		t.Fatal("ball did not start expanding")
+	}
+	if eth >= 2.0 { // started at Σmu = 2.0 × total mass 1
+		t.Fatalf("thermal energy did not fall: %v", eth)
+	}
+	drift := math.Abs(ek+eth-e0) / e0
+	if drift > 0.05 {
+		t.Fatalf("energy drift %v during adiabatic expansion", drift)
+	}
+}
+
+func TestSelfGravityPullsBallTogether(t *testing.T) {
+	// Cold gas with self-gravity: the ball contracts (kinetic energy
+	// grows via infall, radius shrinks).
+	s := nbody.NewPlummer(200, 0.5, 4)
+	for i := range s.VX {
+		s.VX[i], s.VY[i], s.VZ[i] = 0, 0, 0
+	}
+	g, err := NewGas(s, 0.15, 0.01) // nearly pressureless
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SelfGravity = true
+	r0 := rmsRadius(s)
+	for step := 0; step < 15; step++ {
+		if err := g.Step(0.005); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r1 := rmsRadius(s); r1 >= r0 {
+		t.Fatalf("self-gravitating cold gas expanded: %v → %v", r0, r1)
+	}
+}
+
+func rmsRadius(s *nbody.System) float64 {
+	var sum float64
+	for i := 0; i < s.N(); i++ {
+		sum += s.X[i]*s.X[i] + s.Y[i]*s.Y[i] + s.Z[i]*s.Z[i]
+	}
+	return math.Sqrt(sum / float64(s.N()))
+}
+
+func TestGasValidation(t *testing.T) {
+	s := nbody.NewUniformCube(8, 1)
+	if _, err := NewGas(s, 0, 1); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if _, err := NewGas(s, 0.1, 0); err == nil {
+		t.Fatal("u0=0 accepted")
+	}
+	g, _ := NewGas(s, 0.3, 1)
+	if err := g.Step(0); err == nil {
+		t.Fatal("dt=0 accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package tco
+
+import "repro/internal/cluster"
+
+// PaperTable5Configs returns the five comparably equipped 24-node
+// clusters of Table 5 (Alpha, Athlon, Pentium III, Pentium 4, and the
+// TM5600 Bladed Beowulf), with the paper's acquisition costs and the
+// package defaults for everything else.
+func PaperTable5Configs() ([]Config, error) {
+	type row struct {
+		name  string
+		acq   float64
+		node  cluster.NodeSpec
+		blade bool
+	}
+	rows := []row{
+		{"Alpha", 17000, cluster.NodeAlpha, false},
+		{"Athlon", 15000, cluster.NodeAthlon, false},
+		{"PIII", 16000, cluster.NodePIII, false},
+		{"P4", 17000, cluster.NodeP4, false},
+		{"TM5600", 26000, cluster.NodeTM5600, true},
+	}
+	configs := make([]Config, 0, len(rows))
+	for _, r := range rows {
+		pack := cluster.TraditionalPackaging()
+		admin := TraditionalAdmin()
+		outages := TraditionalOutages()
+		ambient := 24.0 // 75 °F office
+		if r.blade {
+			pack = cluster.BladePackaging()
+			admin = BladeAdmin()
+			outages = BladeOutages()
+			ambient = 27.0 // the paper's "dusty 80 °F environment"
+		}
+		cl, err := cluster.New(r.name+" cluster", r.node, pack, 24, ambient)
+		if err != nil {
+			return nil, err
+		}
+		configs = append(configs, Config{
+			Name:           r.name,
+			AcquisitionUSD: r.acq,
+			Cluster:        cl,
+			Admin:          admin,
+			Outages:        outages,
+		})
+	}
+	return configs, nil
+}

@@ -1,0 +1,282 @@
+package treecode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mpi"
+	"repro/internal/nbody"
+)
+
+// CostModel converts counted work into modelled seconds on a target
+// processor; the mpi layer adds communication time from its fabric, so a
+// parallel run yields the simulated runtime on the modelled cluster.
+type CostModel struct {
+	// SecondsPerInteraction covers one gravity interaction (the inner
+	// kernel the microbenchmark measures).
+	SecondsPerInteraction float64
+	// SecondsPerBuildSource covers key generation, sorting amortized, and
+	// moment accumulation per source in tree construction.
+	SecondsPerBuildSource float64
+}
+
+// InteractionMix returns the per-interaction operation mix used to derive
+// SecondsPerInteraction from a processor's calibrated op costs. Beyond
+// the arithmetic kernel (differences, r² reduction, reciprocal square
+// root, accumulation) it carries the amortized tree-walk overhead each
+// accepted interaction drags along — node fetches (pointer-chasing
+// loads), MAC distance tests, and the walk's branches — which is what
+// makes real treecodes memory- and branch-sensitive rather than pure
+// flops.
+func InteractionMix() *isa.Trace {
+	var tr isa.Trace
+	tr.ByClass[isa.ClassLoad] = 20
+	tr.ByClass[isa.ClassFPAdd] = 16
+	tr.ByClass[isa.ClassFPMul] = 18
+	tr.ByClass[isa.ClassFPSqrt] = 1
+	tr.ByClass[isa.ClassIntALU] = 16
+	tr.ByClass[isa.ClassBranch] = 6
+	tr.Flops = nbody.FlopsPerInteraction
+	tr.Instrs = 77
+	return &tr
+}
+
+// BuildMix returns the per-source tree-construction mix (integer-heavy:
+// key twiddling, sorting, pointer chasing).
+func BuildMix() *isa.Trace {
+	var tr isa.Trace
+	tr.ByClass[isa.ClassIntALU] = 40
+	tr.ByClass[isa.ClassLoad] = 12
+	tr.ByClass[isa.ClassStore] = 6
+	tr.ByClass[isa.ClassFPAdd] = 8
+	tr.ByClass[isa.ClassFPMul] = 6
+	tr.ByClass[isa.ClassBranch] = 8
+	tr.Instrs = 80
+	return &tr
+}
+
+// ParallelConfig configures a distributed force computation.
+type ParallelConfig struct {
+	Theta      float64
+	Bucket     int
+	Quadrupole bool
+	Eps        float64
+	Cost       CostModel
+}
+
+// Decompose returns each rank's particle indices: contiguous runs of the
+// Morton-sorted order with balanced counts — the key-space domain
+// decomposition of the hashed treecode.
+func Decompose(s *nbody.System, p int) ([][]int, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("treecode: bad rank count %d", p)
+	}
+	if s.N() == 0 {
+		return nil, fmt.Errorf("treecode: empty system")
+	}
+	root, err := BoundingBox(s.X, s.Y, s.Z)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, s.N())
+	keys := make([]Key, s.N())
+	for i := range idx {
+		idx[i] = i
+		keys[i] = MortonKey(s.X[i], s.Y[i], s.Z[i], root)
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([][]int, p)
+	n := s.N()
+	for r := 0; r < p; r++ {
+		lo := r * n / p
+		hi := (r + 1) * n / p
+		out[r] = idx[lo:hi:hi]
+	}
+	return out, nil
+}
+
+// boxToBoxDist returns the minimum distance between two boxes (0 if they
+// overlap) — the geometry of Salmon's locally-essential-tree pruning.
+func boxToBoxDist(a, b Box) float64 {
+	gap := func(ca, ha, cb, hb float64) float64 {
+		d := math.Abs(ca-cb) - ha - hb
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	dx := gap(a.CX, a.Half, b.CX, b.Half)
+	dy := gap(a.CY, a.Half, b.CY, b.Half)
+	dz := gap(a.CZ, a.Half, b.CZ, b.Half)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// letExport walks the local tree and collects the sources a remote domain
+// needs: cells far enough from the remote bounding box (under the MAC)
+// export their monopole as a pseudo-particle; near cells recurse; near
+// leaves export their actual particles.
+func (t *Tree) letExport(remote Box, theta float64) []Source {
+	var out []Source
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.Nodes[ni]
+		if n.M == 0 {
+			return
+		}
+		size := 2 * n.Box.Half
+		d := boxToBoxDist(n.Box, remote)
+		if size < theta*d {
+			out = append(out, Source{X: n.CX, Y: n.CY, Z: n.CZ, M: n.M, Index: -1})
+			return
+		}
+		if n.Leaf {
+			out = append(out, t.Sources[n.First:n.First+n.Count]...)
+			return
+		}
+		for _, ci := range n.Children {
+			if ci >= 0 {
+				walk(ci)
+			}
+		}
+	}
+	walk(0)
+	return out
+}
+
+// ParallelResult reports one distributed force computation.
+type ParallelResult struct {
+	// SimTime is the makespan (max rank virtual time).
+	SimTime float64
+	// Stats aggregates interaction counts across ranks.
+	Stats Stats
+	// CommBytes / CommMessages summarize exchange volume.
+	CommBytes    int64
+	CommMessages int64
+	// ImportedSources is the total pseudo/real sources imported.
+	ImportedSources int64
+}
+
+// encodeSources flattens sources for the wire (x, y, z, m per source;
+// imported sources become pseudo-particles — Index is never remote-valid).
+func encodeSources(srcs []Source) []float64 {
+	out := make([]float64, 0, 4*len(srcs))
+	for _, s := range srcs {
+		out = append(out, s.X, s.Y, s.Z, s.M)
+	}
+	return out
+}
+
+func decodeSources(data []float64) ([]Source, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("treecode: bad source payload length %d", len(data))
+	}
+	out := make([]Source, len(data)/4)
+	for i := range out {
+		out[i] = Source{X: data[4*i], Y: data[4*i+1], Z: data[4*i+2], M: data[4*i+3], Index: -1}
+	}
+	return out, nil
+}
+
+// ParallelForces computes softened accelerations for every particle of s
+// on a world of ranks, writing them into s.AX/AY/AZ. Each rank owns a
+// Morton-contiguous slice of particles, exchanges locally essential
+// sources with every other rank, and computes forces for its own
+// particles from a tree over local + imported sources.
+func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*ParallelResult, error) {
+	if cfg.Theta <= 0 {
+		cfg.Theta = 0.7
+	}
+	parts, err := Decompose(s, w.Size())
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelResult{}
+	perRank := make([]Stats, w.Size())
+	imported := make([]int64, w.Size())
+
+	err = w.Run(func(c *mpi.Comm) error {
+		mine := parts[c.Rank()]
+		local := make([]Source, len(mine))
+		xs := make([]float64, len(mine))
+		ys := make([]float64, len(mine))
+		zs := make([]float64, len(mine))
+		for i, pi := range mine {
+			local[i] = Source{X: s.X[pi], Y: s.Y[pi], Z: s.Z[pi], M: s.M[pi], Index: pi}
+			xs[i], ys[i], zs[i] = s.X[pi], s.Y[pi], s.Z[pi]
+		}
+		// Exchange domain bounding boxes (allgather of 4 floats).
+		var myBox Box
+		if len(mine) > 0 {
+			myBox, _ = BoundingBox(xs, ys, zs)
+		}
+		boxes := c.Allgather([]float64{myBox.CX, myBox.CY, myBox.CZ, myBox.Half})
+
+		// Local tree for LET construction.
+		var localTree *Tree
+		if len(local) > 0 {
+			localTree, err = Build(local, BuildOptions{Bucket: cfg.Bucket, Quadrupole: cfg.Quadrupole})
+			if err != nil {
+				return err
+			}
+			c.AddCompute(cfg.Cost.SecondsPerBuildSource * float64(len(local)))
+		}
+
+		// Pairwise LET exchange.
+		sources := append([]Source(nil), local...)
+		p := c.Size()
+		for step := 1; step < p; step++ {
+			dst := (c.Rank() + step) % p
+			src := (c.Rank() - step + p) % p
+			var export []Source
+			if localTree != nil {
+				rb := boxes[dst]
+				remote := Box{CX: rb[0], CY: rb[1], CZ: rb[2], Half: rb[3]}
+				if remote.Half > 0 || len(parts[dst]) > 0 {
+					export = localTree.letExport(remote, cfg.Theta)
+				}
+			}
+			c.Send(dst, step, encodeSources(export))
+			in, err := decodeSources(c.Recv(src, step))
+			if err != nil {
+				return err
+			}
+			sources = append(sources, in...)
+			imported[c.Rank()] += int64(len(in))
+		}
+
+		if len(mine) == 0 {
+			return nil
+		}
+		// Force tree over local + imported sources.
+		ft, err := Build(sources, BuildOptions{Bucket: cfg.Bucket, Quadrupole: cfg.Quadrupole})
+		if err != nil {
+			return err
+		}
+		c.AddCompute(cfg.Cost.SecondsPerBuildSource * float64(len(sources)))
+		var st Stats
+		for _, pi := range mine {
+			ax, ay, az := ft.ForceAt(s.X[pi], s.Y[pi], s.Z[pi], pi, cfg.Theta, cfg.Eps, &st)
+			s.AX[pi] = s.G * ax
+			s.AY[pi] = s.G * ay
+			s.AZ[pi] = s.G * az
+		}
+		c.AddCompute(cfg.Cost.SecondsPerInteraction * float64(st.Interactions()))
+		perRank[c.Rank()] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, st := range perRank {
+		res.Stats.PP += st.PP
+		res.Stats.PC += st.PC
+		res.ImportedSources += imported[r]
+	}
+	res.SimTime = w.MaxTime()
+	res.CommBytes = w.TotalBytes()
+	res.CommMessages = w.TotalMessages()
+	s.Interactions += res.Stats.Interactions()
+	return res, nil
+}

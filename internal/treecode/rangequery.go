@@ -1,0 +1,40 @@
+package treecode
+
+// Neighbors returns the indices (into the tree's key-sorted Sources
+// slice) of all sources within radius of the point, found by pruning the
+// octree with box–point distances. This is the neighbour-finding service
+// the paper's §3.5.1 clients (smoothed particle hydrodynamics, the
+// vortex particle method) obtain from the treecode library.
+func (t *Tree) Neighbors(x, y, z, radius float64, out []int) []int {
+	r2 := radius * radius
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.Nodes[ni]
+		if n.Count == 0 {
+			return
+		}
+		d := n.Box.MinDist(x, y, z)
+		if d > radius {
+			return
+		}
+		if n.Leaf {
+			for i := n.First; i < n.First+n.Count; i++ {
+				s := t.Sources[i]
+				dx := s.X - x
+				dy := s.Y - y
+				dz := s.Z - z
+				if dx*dx+dy*dy+dz*dz <= r2 {
+					out = append(out, i)
+				}
+			}
+			return
+		}
+		for _, ci := range n.Children {
+			if ci >= 0 {
+				walk(ci)
+			}
+		}
+	}
+	walk(0)
+	return out
+}

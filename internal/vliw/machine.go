@@ -1,0 +1,409 @@
+package vliw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Timing holds the cycle-accounting parameters of the native engine.
+// Latencies are producer→consumer distances in cycles; divide and square
+// root additionally block the FP unit (they are not pipelined on Crusoe-
+// class FPUs).
+type Timing struct {
+	IntLatency    int // simple ALU results
+	MulLatency    int
+	LoadLatency   int // load-use distance
+	FPLatency     int // pipelined FP add/mul etc.
+	FDivLatency   int
+	FSqrtLatency  int
+	BranchPenalty int // taken-branch bubble (short in-order pipeline)
+}
+
+// TM5600Timing is the default model of the 633-MHz TM5600's engine. The
+// values follow the pipeline depths the paper gives (7-stage integer,
+// 10-stage FP) and typical latencies for that class of core.
+func TM5600Timing() Timing {
+	return Timing{
+		IntLatency:   1,
+		MulLatency:   3,
+		LoadLatency:  2,
+		FPLatency:    2,
+		FDivLatency:  22,
+		FSqrtLatency: 28,
+		// CMS chains translations and predicts loop back-edges; the
+		// residual taken-branch bubble is short.
+		BranchPenalty: 1,
+	}
+}
+
+// State is the native machine state: the architectural isa.State (whose
+// registers 0..isa.NumRegs-1 the low native registers shadow) plus the
+// translator's temporary registers.
+type State struct {
+	Arch *isa.State
+	// Temps hold native registers isa.NumRegs..NumIntRegs-1 and
+	// isa.NumRegs..NumFPRegs-1.
+	TmpR [NumIntRegs - isa.NumRegs]int64
+	TmpF [NumFPRegs - isa.NumRegs]float64
+}
+
+// NewState wraps an architectural state.
+func NewState(arch *isa.State) *State {
+	return &State{Arch: arch}
+}
+
+func (s *State) getR(r uint8) int64 {
+	if r < isa.NumRegs {
+		return s.Arch.R[r]
+	}
+	return s.TmpR[r-isa.NumRegs]
+}
+
+func (s *State) setR(r uint8, v int64) {
+	if r < isa.NumRegs {
+		s.Arch.R[r] = v
+		return
+	}
+	s.TmpR[r-isa.NumRegs] = v
+}
+
+func (s *State) getF(r uint8) float64 {
+	if r < isa.NumRegs {
+		return s.Arch.F[r]
+	}
+	return s.TmpF[r-isa.NumRegs]
+}
+
+func (s *State) setF(r uint8, v float64) {
+	if r < isa.NumRegs {
+		s.Arch.F[r] = v
+		return
+	}
+	s.TmpF[r-isa.NumRegs] = v
+}
+
+// ExecResult reports one translation execution.
+type ExecResult struct {
+	ExitPC    int    // x86 PC to continue at
+	Cycles    uint64 // cycles the translation took, per the Timing model
+	Taken     bool   // whether the exit was a taken branch
+	Atoms     uint64 // atoms executed
+	Molecules uint64 // molecules issued
+	Halted    bool
+	// ByClass/Flops count executed atoms for Mflops accounting.
+	ByClass [isa.NumClasses]uint64
+	Flops   uint64
+}
+
+// AtomIsFlop mirrors isa.IsFlop for native atoms.
+func AtomIsFlop(op AtomOp) bool {
+	switch op {
+	case AFAdd, AFSub, AFMul, AFDiv, AFSqrt, AFNeg, AFAbs:
+		return true
+	}
+	return false
+}
+
+// Machine executes translations with cycle accounting. The scoreboard
+// (register-ready times and FP-unit busy time) persists across molecules
+// within one Execute call and is reset between calls; cross-translation
+// stalls are absorbed into the chaining cost the CMS layer charges.
+type Machine struct {
+	T Timing
+}
+
+// NewMachine returns a machine with the given timing.
+func NewMachine(t Timing) *Machine { return &Machine{T: t} }
+
+type pendingWrite struct {
+	fp  bool
+	reg uint8
+	vi  int64
+	vf  float64
+}
+
+// Execute runs the translation against st until a branch exits, the last
+// molecule falls through, or an Hlt-encoded exit (ExitPC < 0 means halt).
+// Branch atoms with Imm = HaltExit halt the machine.
+func (m *Machine) Execute(t *Translation, st *State) (ExecResult, error) {
+	var res ExecResult
+	var regReadyR [NumIntRegs]uint64
+	var regReadyF [NumFPRegs]uint64
+	var fpuBusyUntil uint64
+	var cycle uint64
+
+	mi := 0
+	for mi < len(t.Molecules) {
+		mol := &t.Molecules[mi]
+		// Issue time: all sources ready, FP unit free if an FP atom issues.
+		issue := cycle
+		for _, a := range mol.Atoms {
+			for _, sr := range atomIntReads(a) {
+				if regReadyR[sr] > issue {
+					issue = regReadyR[sr]
+				}
+			}
+			for _, sr := range atomFPReads(a) {
+				if regReadyF[sr] > issue {
+					issue = regReadyF[sr]
+				}
+			}
+			if UnitOf(a.Op) == UnitFPU && fpuBusyUntil > issue {
+				issue = fpuBusyUntil
+			}
+		}
+
+		// Parallel semantics: compute all results, then commit.
+		writes := make([]pendingWrite, 0, len(mol.Atoms))
+		var branchTo int
+		var branched, halted bool
+		for _, a := range mol.Atoms {
+			w, br, halt, err := execAtom(a, st)
+			if err != nil {
+				return res, fmt.Errorf("vliw: molecule %d: %w", mi, err)
+			}
+			if w != nil {
+				writes = append(writes, *w)
+			}
+			if br != nil {
+				branched, branchTo = true, *br
+			}
+			if halt {
+				halted = true
+			}
+		}
+		for _, w := range writes {
+			if w.fp {
+				st.setF(w.reg, w.vf)
+			} else {
+				st.setR(w.reg, w.vi)
+			}
+		}
+
+		// Scoreboard updates.
+		for _, a := range mol.Atoms {
+			lat := m.latency(a.Op)
+			if wr, fp, ok := atomWrites(a); ok {
+				if fp {
+					regReadyF[wr] = issue + uint64(lat)
+				} else {
+					regReadyR[wr] = issue + uint64(lat)
+				}
+			}
+			if a.Op == AFDiv {
+				fpuBusyUntil = issue + uint64(m.T.FDivLatency)
+			} else if a.Op == AFSqrt {
+				fpuBusyUntil = issue + uint64(m.T.FSqrtLatency)
+			}
+		}
+
+		cycle = issue + 1
+		res.Molecules++
+		res.Atoms += uint64(len(mol.Atoms))
+		for _, a := range mol.Atoms {
+			res.ByClass[ClassOfAtom(a.Op)]++
+			if AtomIsFlop(a.Op) {
+				res.Flops++
+			}
+		}
+
+		if halted {
+			st.Arch.Halted = true
+			res.Halted = true
+			res.Cycles = cycle
+			res.ExitPC = branchTo
+			return res, nil
+		}
+		if branched {
+			cycle += uint64(m.T.BranchPenalty)
+			res.Cycles = cycle
+			res.ExitPC = branchTo
+			res.Taken = true
+			return res, nil
+		}
+		mi++
+	}
+	res.Cycles = cycle
+	res.ExitPC = t.FallPC
+	return res, nil
+}
+
+// HaltCode encodes a halt exit for a branch atom's Imm: the machine halts
+// and reports nextPC (the architectural PC after the x86 hlt) as the exit.
+func HaltCode(nextPC int) int64 { return -int64(nextPC) - 1 }
+
+// HaltExit is HaltCode(0), kept for hand-built translations in tests.
+const HaltExit = -1
+
+func (m *Machine) latency(op AtomOp) int {
+	switch ClassOfAtom(op) {
+	case isa.ClassIntALU, isa.ClassNop, isa.ClassBranch, isa.ClassStore:
+		return m.T.IntLatency
+	case isa.ClassIntMul:
+		return m.T.MulLatency
+	case isa.ClassLoad:
+		return m.T.LoadLatency
+	case isa.ClassFPAdd, isa.ClassFPMul:
+		return m.T.FPLatency
+	case isa.ClassFPDiv:
+		return m.T.FDivLatency
+	case isa.ClassFPSqrt:
+		return m.T.FSqrtLatency
+	}
+	return 1
+}
+
+func atomIntReads(a Atom) []uint8 {
+	switch a.Op {
+	case AMov, AAddI, ASubI, AShl, AShr, ACmpI, ACvtIF:
+		return []uint8{a.Src1}
+	case AAdd, ASub, AMul, AAnd, AOr, AXor, ACmp:
+		return []uint8{a.Src1, a.Src2}
+	case ALd, AFLd:
+		return []uint8{a.Src1}
+	case ASt:
+		return []uint8{a.Src1, a.Src2}
+	case AFSt:
+		return []uint8{a.Src1}
+	}
+	return nil
+}
+
+func atomFPReads(a Atom) []uint8 {
+	switch a.Op {
+	case AFMov, AFSqrt, AFNeg, AFAbs, ACvtFI:
+		return []uint8{a.Src1}
+	case AFAdd, AFSub, AFMul, AFDiv, AFCmp:
+		return []uint8{a.Src1, a.Src2}
+	case AFSt:
+		return []uint8{a.Src2}
+	}
+	return nil
+}
+
+// execAtom computes the atom's effect. It returns the pending register
+// write (nil if none), a branch-exit PC (nil if not taken), and a halt
+// flag.
+func execAtom(a Atom, st *State) (*pendingWrite, *int, bool, error) {
+	arch := st.Arch
+	iw := func(reg uint8, v int64) *pendingWrite { return &pendingWrite{reg: reg, vi: v} }
+	fw := func(reg uint8, v float64) *pendingWrite { return &pendingWrite{fp: true, reg: reg, vf: v} }
+	switch a.Op {
+	case ANop:
+		return nil, nil, false, nil
+	case AMovI:
+		return iw(a.Dst, a.Imm), nil, false, nil
+	case AMov:
+		return iw(a.Dst, st.getR(a.Src1)), nil, false, nil
+	case AAdd:
+		return iw(a.Dst, st.getR(a.Src1)+st.getR(a.Src2)), nil, false, nil
+	case AAddI:
+		return iw(a.Dst, st.getR(a.Src1)+a.Imm), nil, false, nil
+	case ASub:
+		return iw(a.Dst, st.getR(a.Src1)-st.getR(a.Src2)), nil, false, nil
+	case ASubI:
+		return iw(a.Dst, st.getR(a.Src1)-a.Imm), nil, false, nil
+	case AMul:
+		return iw(a.Dst, st.getR(a.Src1)*st.getR(a.Src2)), nil, false, nil
+	case AAnd:
+		return iw(a.Dst, st.getR(a.Src1)&st.getR(a.Src2)), nil, false, nil
+	case AOr:
+		return iw(a.Dst, st.getR(a.Src1)|st.getR(a.Src2)), nil, false, nil
+	case AXor:
+		return iw(a.Dst, st.getR(a.Src1)^st.getR(a.Src2)), nil, false, nil
+	case AShl:
+		return iw(a.Dst, st.getR(a.Src1)<<uint(a.Imm&63)), nil, false, nil
+	case AShr:
+		return iw(a.Dst, int64(uint64(st.getR(a.Src1))>>uint(a.Imm&63))), nil, false, nil
+	case ACmp:
+		x, y := st.getR(a.Src1), st.getR(a.Src2)
+		arch.FlagZ, arch.FlagL = x == y, x < y
+		return nil, nil, false, nil
+	case ACmpI:
+		x := st.getR(a.Src1)
+		arch.FlagZ, arch.FlagL = x == a.Imm, x < a.Imm
+		return nil, nil, false, nil
+	case ALd:
+		addr := st.getR(a.Src1) + a.Imm
+		if addr < 0 || addr >= int64(len(arch.Mem)) {
+			return nil, nil, false, fmt.Errorf("load address %d out of range", addr)
+		}
+		return iw(a.Dst, arch.LoadI(addr)), nil, false, nil
+	case ASt:
+		addr := st.getR(a.Src1) + a.Imm
+		if addr < 0 || addr >= int64(len(arch.Mem)) {
+			return nil, nil, false, fmt.Errorf("store address %d out of range", addr)
+		}
+		arch.StoreI(addr, st.getR(a.Src2))
+		return nil, nil, false, nil
+	case AFLd:
+		addr := st.getR(a.Src1) + a.Imm
+		if addr < 0 || addr >= int64(len(arch.Mem)) {
+			return nil, nil, false, fmt.Errorf("fload address %d out of range", addr)
+		}
+		return fw(a.Dst, arch.LoadF(addr)), nil, false, nil
+	case AFSt:
+		addr := st.getR(a.Src1) + a.Imm
+		if addr < 0 || addr >= int64(len(arch.Mem)) {
+			return nil, nil, false, fmt.Errorf("fstore address %d out of range", addr)
+		}
+		arch.StoreF(addr, st.getF(a.Src2))
+		return nil, nil, false, nil
+	case AFMovI:
+		return fw(a.Dst, a.F), nil, false, nil
+	case AFMov:
+		return fw(a.Dst, st.getF(a.Src1)), nil, false, nil
+	case AFAdd:
+		return fw(a.Dst, st.getF(a.Src1)+st.getF(a.Src2)), nil, false, nil
+	case AFSub:
+		return fw(a.Dst, st.getF(a.Src1)-st.getF(a.Src2)), nil, false, nil
+	case AFMul:
+		return fw(a.Dst, st.getF(a.Src1)*st.getF(a.Src2)), nil, false, nil
+	case AFDiv:
+		return fw(a.Dst, st.getF(a.Src1)/st.getF(a.Src2)), nil, false, nil
+	case AFSqrt:
+		return fw(a.Dst, math.Sqrt(st.getF(a.Src1))), nil, false, nil
+	case AFNeg:
+		return fw(a.Dst, -st.getF(a.Src1)), nil, false, nil
+	case AFAbs:
+		return fw(a.Dst, math.Abs(st.getF(a.Src1))), nil, false, nil
+	case ACvtIF:
+		return fw(a.Dst, float64(st.getR(a.Src1))), nil, false, nil
+	case ACvtFI:
+		return iw(a.Dst, int64(st.getF(a.Src1))), nil, false, nil
+	case AFCmp:
+		x, y := st.getF(a.Src1), st.getF(a.Src2)
+		arch.FlagZ, arch.FlagL = x == y, x < y
+		return nil, nil, false, nil
+	case ABr, ABrZ, ABrNZ, ABrL, ABrLE, ABrG, ABrGE:
+		take := false
+		switch a.Op {
+		case ABr:
+			take = true
+		case ABrZ:
+			take = arch.FlagZ
+		case ABrNZ:
+			take = !arch.FlagZ
+		case ABrL:
+			take = arch.FlagL
+		case ABrLE:
+			take = arch.FlagL || arch.FlagZ
+		case ABrG:
+			take = !arch.FlagL && !arch.FlagZ
+		case ABrGE:
+			take = !arch.FlagL
+		}
+		if !take {
+			return nil, nil, false, nil
+		}
+		if a.Imm < 0 {
+			pc := int(-a.Imm - 1)
+			return nil, &pc, true, nil
+		}
+		pc := int(a.Imm)
+		return nil, &pc, false, nil
+	}
+	return nil, nil, false, fmt.Errorf("unknown atom op %d", a.Op)
+}

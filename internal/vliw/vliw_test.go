@@ -1,0 +1,362 @@
+package vliw
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mol(atoms ...Atom) Molecule { return Molecule{Atoms: atoms, Wide: true} }
+
+func TestUnitOfCoversAllAtoms(t *testing.T) {
+	for op := AtomOp(0); op < numAtomOps; op++ {
+		u := UnitOf(op)
+		if u >= numUnits {
+			t.Fatalf("UnitOf(%s) = %d", op, u)
+		}
+		c := ClassOfAtom(op)
+		if c >= isa.NumClasses {
+			t.Fatalf("ClassOfAtom(%s) = %d", op, c)
+		}
+	}
+}
+
+func TestMoleculeValidatePackingRules(t *testing.T) {
+	ok := []Molecule{
+		mol(Atom{Op: AAdd, Dst: 1, Src1: 2, Src2: 3}),
+		mol(
+			Atom{Op: AAdd, Dst: 1, Src1: 2, Src2: 3},
+			Atom{Op: ASub, Dst: 4, Src1: 5, Src2: 6},
+			Atom{Op: AFMul, Dst: 1, Src1: 2, Src2: 3},
+			Atom{Op: ALd, Dst: 7, Src1: 8},
+		),
+		mol(
+			Atom{Op: AAdd, Dst: 1, Src1: 2, Src2: 3},
+			Atom{Op: ABrZ, Imm: 5},
+		),
+		{Atoms: []Atom{{Op: AAdd, Dst: 1}, {Op: AFAdd, Dst: 1}}, Wide: false},
+	}
+	for i, m := range ok {
+		if err := m.Validate(); err != nil {
+			t.Errorf("valid molecule %d rejected: %v", i, err)
+		}
+	}
+	bad := []struct {
+		name string
+		m    Molecule
+	}{
+		{"empty", Molecule{Wide: true}},
+		{"five atoms", mol(
+			Atom{Op: AAdd, Dst: 1}, Atom{Op: ASub, Dst: 2},
+			Atom{Op: AFAdd, Dst: 3}, Atom{Op: ALd, Dst: 4}, Atom{Op: ANop})},
+		{"three ALU", mol(Atom{Op: AAdd, Dst: 1}, Atom{Op: ASub, Dst: 2}, Atom{Op: AXor, Dst: 3})},
+		{"two FPU", mol(Atom{Op: AFAdd, Dst: 1}, Atom{Op: AFMul, Dst: 2})},
+		{"two LSU", mol(Atom{Op: ALd, Dst: 1}, Atom{Op: ALd, Dst: 2})},
+		{"branch not last", mol(Atom{Op: ABr, Imm: 0}, Atom{Op: AAdd, Dst: 1})},
+		{"dup int write", mol(Atom{Op: AAdd, Dst: 1}, Atom{Op: ASub, Dst: 1})},
+		{"dup fp write", mol(Atom{Op: AFAdd, Dst: 1}, Atom{Op: AFLd, Dst: 1})},
+		{"narrow overflow", Molecule{Atoms: []Atom{{Op: AAdd, Dst: 1}, {Op: ASub, Dst: 2}, {Op: ANop}}, Wide: false}},
+		{"bad int reg", mol(Atom{Op: AAdd, Dst: 64})},
+		{"bad fp reg", mol(Atom{Op: AFAdd, Dst: 32})},
+	}
+	for _, c := range bad {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: invalid molecule accepted", c.name)
+		}
+	}
+}
+
+func TestExecuteStraightLine(t *testing.T) {
+	arch := isa.NewState(8)
+	st := NewState(arch)
+	tr := &Translation{
+		EntryPC: 0,
+		FallPC:  10,
+		Molecules: []Molecule{
+			mol(Atom{Op: AMovI, Dst: 1, Imm: 6}, Atom{Op: AMovI, Dst: 2, Imm: 7}),
+			mol(Atom{Op: AMul, Dst: 3, Src1: 1, Src2: 2}),
+		},
+		SrcInstrs: 3,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(TM5600Timing())
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.R[3] != 42 {
+		t.Fatalf("r3 = %d, want 42", arch.R[3])
+	}
+	if res.ExitPC != 10 {
+		t.Fatalf("ExitPC = %d, want fallthrough 10", res.ExitPC)
+	}
+	if res.Taken {
+		t.Fatal("fallthrough reported as taken")
+	}
+	if res.Molecules != 2 || res.Atoms != 3 {
+		t.Fatalf("molecules=%d atoms=%d, want 2,3", res.Molecules, res.Atoms)
+	}
+}
+
+func TestExecuteParallelReadSemantics(t *testing.T) {
+	// Swap r1,r2 in one molecule: both atoms must read pre-molecule values.
+	arch := isa.NewState(0)
+	arch.R[1], arch.R[2] = 11, 22
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: AMov, Dst: 1, Src1: 2}, Atom{Op: AMov, Dst: 2, Src1: 1}),
+		},
+	}
+	m := NewMachine(TM5600Timing())
+	if _, err := m.Execute(tr, st); err != nil {
+		t.Fatal(err)
+	}
+	if arch.R[1] != 22 || arch.R[2] != 11 {
+		t.Fatalf("swap gave r1=%d r2=%d, want 22,11", arch.R[1], arch.R[2])
+	}
+}
+
+func TestExecuteBranchTaken(t *testing.T) {
+	arch := isa.NewState(0)
+	arch.R[1] = 5
+	st := NewState(arch)
+	tr := &Translation{
+		FallPC: 100,
+		Molecules: []Molecule{
+			mol(Atom{Op: ACmpI, Src1: 1, Imm: 5}),
+			mol(Atom{Op: ABrZ, Imm: 42}),
+			mol(Atom{Op: AMovI, Dst: 9, Imm: 1}), // must not execute
+		},
+	}
+	m := NewMachine(TM5600Timing())
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Taken || res.ExitPC != 42 {
+		t.Fatalf("taken=%v exit=%d, want true,42", res.Taken, res.ExitPC)
+	}
+	if arch.R[9] != 0 {
+		t.Fatal("molecule after taken branch executed")
+	}
+}
+
+func TestExecuteBranchNotTakenFallsThrough(t *testing.T) {
+	arch := isa.NewState(0)
+	arch.R[1] = 4
+	st := NewState(arch)
+	tr := &Translation{
+		FallPC: 100,
+		Molecules: []Molecule{
+			mol(Atom{Op: ACmpI, Src1: 1, Imm: 5}),
+			mol(Atom{Op: ABrZ, Imm: 42}),
+			mol(Atom{Op: AMovI, Dst: 9, Imm: 1}),
+		},
+	}
+	m := NewMachine(TM5600Timing())
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Taken || res.ExitPC != 100 {
+		t.Fatalf("taken=%v exit=%d, want false,100", res.Taken, res.ExitPC)
+	}
+	if arch.R[9] != 1 {
+		t.Fatal("fallthrough molecule skipped")
+	}
+}
+
+func TestExecuteHalt(t *testing.T) {
+	arch := isa.NewState(0)
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{mol(Atom{Op: ABr, Imm: HaltExit})},
+	}
+	m := NewMachine(TM5600Timing())
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || !arch.Halted {
+		t.Fatal("halt exit did not halt")
+	}
+}
+
+func TestExecuteTempRegistersIsolated(t *testing.T) {
+	arch := isa.NewState(0)
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: AMovI, Dst: 40, Imm: 99}), // temp reg
+			mol(Atom{Op: AMov, Dst: 2, Src1: 40}),
+		},
+	}
+	m := NewMachine(TM5600Timing())
+	if _, err := m.Execute(tr, st); err != nil {
+		t.Fatal(err)
+	}
+	if arch.R[2] != 99 {
+		t.Fatalf("value did not flow through temp reg: r2=%d", arch.R[2])
+	}
+	// Architectural registers beyond r2 untouched.
+	for i, v := range arch.R {
+		if i != 2 && v != 0 {
+			t.Fatalf("architectural r%d polluted: %d", i, v)
+		}
+	}
+}
+
+func TestCyclesIndependentMoleculesPipeline(t *testing.T) {
+	// N independent single-atom molecules issue 1/cycle.
+	arch := isa.NewState(0)
+	st := NewState(arch)
+	var mols []Molecule
+	for i := 0; i < 10; i++ {
+		mols = append(mols, mol(Atom{Op: AMovI, Dst: uint8(i), Imm: int64(i)}))
+	}
+	tr := &Translation{Molecules: mols}
+	m := NewMachine(TM5600Timing())
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 10 {
+		t.Fatalf("10 independent molecules took %d cycles, want 10", res.Cycles)
+	}
+}
+
+func TestCyclesDependencyStall(t *testing.T) {
+	// fmul f1←f0; fadd f2←f1: second must wait FPLatency after first.
+	arch := isa.NewState(0)
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: AFMul, Dst: 1, Src1: 0, Src2: 0}),
+			mol(Atom{Op: AFAdd, Dst: 2, Src1: 1, Src2: 1}),
+		},
+	}
+	tm := TM5600Timing()
+	m := NewMachine(tm)
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First issues at 0; f1 ready at FPLatency; second issues then; +1.
+	want := uint64(tm.FPLatency + 1)
+	if res.Cycles != want {
+		t.Fatalf("dependent FP chain took %d cycles, want %d", res.Cycles, want)
+	}
+}
+
+func TestCyclesFDivBlocksFPU(t *testing.T) {
+	// fdiv then an independent fadd: the fadd stalls on the busy FPU.
+	arch := isa.NewState(0)
+	arch.F[0] = 1
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: AFDiv, Dst: 1, Src1: 0, Src2: 0}),
+			mol(Atom{Op: AFAdd, Dst: 2, Src1: 3, Src2: 3}), // independent regs
+		},
+	}
+	tm := TM5600Timing()
+	m := NewMachine(tm)
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(tm.FDivLatency + 1)
+	if res.Cycles != want {
+		t.Fatalf("fdiv+independent fadd took %d cycles, want %d (FPU blocked)", res.Cycles, want)
+	}
+}
+
+func TestCyclesIndependentIntNotBlockedByFDiv(t *testing.T) {
+	arch := isa.NewState(0)
+	arch.F[0] = 1
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: AFDiv, Dst: 1, Src1: 0, Src2: 0}),
+			mol(Atom{Op: AAdd, Dst: 2, Src1: 3, Src2: 3}),
+		},
+	}
+	m := NewMachine(TM5600Timing())
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Fatalf("int op after fdiv took %d cycles, want 2 (no FPU dependence)", res.Cycles)
+	}
+}
+
+func TestCyclesTakenBranchPenalty(t *testing.T) {
+	arch := isa.NewState(0)
+	st := NewState(arch)
+	tm := TM5600Timing()
+	m := NewMachine(tm)
+
+	taken := &Translation{Molecules: []Molecule{mol(Atom{Op: ABr, Imm: 7})}}
+	res, err := m.Execute(taken, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1 + tm.BranchPenalty)
+	if res.Cycles != want {
+		t.Fatalf("taken branch = %d cycles, want %d", res.Cycles, want)
+	}
+}
+
+func TestExecuteMemoryFault(t *testing.T) {
+	arch := isa.NewState(4)
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: AMovI, Dst: 1, Imm: 100}),
+			mol(Atom{Op: ALd, Dst: 2, Src1: 1}),
+		},
+	}
+	m := NewMachine(TM5600Timing())
+	if _, err := m.Execute(tr, st); err == nil {
+		t.Fatal("out-of-range load did not error")
+	}
+}
+
+func TestLoadUseStall(t *testing.T) {
+	arch := isa.NewState(4)
+	arch.StoreI(0, 5)
+	st := NewState(arch)
+	tr := &Translation{
+		Molecules: []Molecule{
+			mol(Atom{Op: ALd, Dst: 1, Src1: 0}),
+			mol(Atom{Op: AAddI, Dst: 2, Src1: 1, Imm: 1}),
+		},
+	}
+	tm := TM5600Timing()
+	m := NewMachine(tm)
+	res, err := m.Execute(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(tm.LoadLatency + 1)
+	if res.Cycles != want {
+		t.Fatalf("load-use chain = %d cycles, want %d", res.Cycles, want)
+	}
+	if arch.R[2] != 6 {
+		t.Fatalf("r2 = %d, want 6", arch.R[2])
+	}
+}
+
+func TestTranslationAtomsCount(t *testing.T) {
+	tr := &Translation{Molecules: []Molecule{
+		mol(Atom{Op: AAdd, Dst: 1}, Atom{Op: ASub, Dst: 2}),
+		mol(Atom{Op: ANop}),
+	}}
+	if tr.Atoms() != 3 {
+		t.Fatalf("Atoms = %d, want 3", tr.Atoms())
+	}
+}
