@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/nas"
 	"repro/internal/nbody"
 	"repro/internal/netsim"
+	"repro/internal/par"
 	"repro/internal/rsqrt"
 	"repro/internal/sph"
 	"repro/internal/treecode"
@@ -422,6 +424,76 @@ func BenchmarkAmbientTemperature(b *testing.B) {
 			b.ReportMetric(fails, "failures/yr")
 		})
 	}
+}
+
+// BenchmarkHostParallel measures the internal/par execution layer on the
+// real host: tree build and O(N²) direct forces at N=30000, serial
+// (workers=1) versus the full worker pool (workers=GOMAXPROCS). Force
+// output is bit-identical across widths (asserted by the determinism
+// tests); only wall-clock changes, so the speedup is read directly off
+// ns/op. Note Table 2's "cpus" are simulated blades; these workers are
+// real host cores — the two axes are independent (DESIGN.md §8).
+func BenchmarkHostParallel(b *testing.B) {
+	const n = 30000
+	s := nbody.NewPlummer(n, 1, 2001)
+	srcs := treecode.SourcesFromSystem(s)
+	widths := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		widths = append(widths, g)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("treebuild/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := treecode.Build(srcs, treecode.BuildOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("treeforces/workers=%d", w), func(b *testing.B) {
+			sys := nbody.NewPlummer(n, 1, 2001)
+			f := &treecode.Forcer{Theta: 0.7, Workers: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Forces(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("directforces/workers=%d", w), func(b *testing.B) {
+			sys := nbody.NewPlummer(n, 1, 2001)
+			pool := par.New(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.DirectForcesWith(pool)
+			}
+		})
+	}
+}
+
+// BenchmarkCalibrationMemo shows what the process-wide calibration memo
+// saves: a cold CalibrateFor runs eight kernel simulations; a warm one
+// is a map lookup.
+func BenchmarkCalibrationMemo(b *testing.B) {
+	tm := cpu.NewTM5600()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cpu.ResetCalibCache()
+			if _, err := cpu.CalibrateFor(tm, cpu.MissRateTree); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := cpu.CalibrateFor(tm, cpu.MissRateTree); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cpu.CalibrateFor(tm, cpu.MissRateTree); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCrusoeEngine measures the raw simulator throughput (host

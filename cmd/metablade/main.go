@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/nas"
+	"repro/internal/par"
 )
 
 func main() {
@@ -26,7 +28,10 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	class := flag.String("class", "W", "NPB class for table 3 (S, W, A)")
 	particles := flag.Int("particles", 0, "particle count override for table 2 / figure 3")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
+		"host worker-pool width for tree build and force loops (independent of the simulated blade count)")
 	flag.Parse()
+	par.SetWorkers(*procs)
 
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()

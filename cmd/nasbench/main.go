@@ -30,6 +30,8 @@ func main() {
 	if *rate {
 		procs = cpu.NASCPUs()
 		for _, p := range procs {
+			// CalibrateFor is memoized process-wide, so re-rating more
+			// kernels (or tables) shares one calibration per processor.
 			e, err := cpu.CalibrateFor(p, cpu.MissRateClassW)
 			check(err)
 			costs = append(costs, e)

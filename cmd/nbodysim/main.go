@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/cpu"
 	"repro/internal/mpi"
 	"repro/internal/nbody"
 	"repro/internal/netsim"
+	"repro/internal/par"
 	"repro/internal/treecode"
 )
 
@@ -29,9 +31,12 @@ func main() {
 	direct := flag.Bool("direct", false, "use O(N²) direct summation instead of the treecode")
 	quad := flag.Bool("quadrupole", false, "use quadrupole moments")
 	ranks := flag.Int("ranks", 0, "simulate a parallel run on this many TM5600 blades (0 = serial)")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
+		"host worker-pool width for tree build and force loops (independent of the simulated -ranks)")
 	render := flag.String("render", "", "write a PGM density rendering to this file")
 	ascii := flag.Bool("ascii", false, "print an ASCII density rendering")
 	flag.Parse()
+	par.SetWorkers(*procs)
 
 	s := nbody.NewPlummer(*n, 1, 2001)
 	k0, p0 := 0.0, 0.0

@@ -49,6 +49,13 @@ func DefaultParams() Params {
 
 // Stats reports where cycles went during a run.
 type Stats struct {
+	// Runs counts Run invocations on this machine; WarmRuns counts those
+	// that began with a non-empty translation cache (warm starts). A
+	// fresh machine per kernel — the paper's cold-cache semantics —
+	// therefore shows Runs == 1, WarmRuns == 0.
+	Runs     uint64
+	WarmRuns uint64
+
 	InterpInstrs      uint64 // x86 instructions interpreted
 	InterpCycles      uint64
 	Translations      uint64 // regions translated
@@ -137,6 +144,10 @@ func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, 
 	var tr isa.Trace
 	if err := p.Validate(); err != nil {
 		return 0, tr, err
+	}
+	m.stats.Runs++
+	if len(m.cache) > 0 {
+		m.stats.WarmRuns++
 	}
 	vst := vliw.NewState(st)
 	fromNative := false

@@ -1,0 +1,35 @@
+package cms
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestRunCountersDistinguishWarmRuns asserts Stats counts runs and which
+// of them started with a warm (non-empty) translation cache — the
+// visibility hook for cpu.Crusoe's opt-in warm-start mode.
+func TestRunCountersDistinguishWarmRuns(t *testing.T) {
+	p := isa.MustAssemble(sumLoopSrc)
+	m := newTestMachine(4) // hot enough to translate the loop on run 1
+	for run := 1; run <= 3; run++ {
+		st := isa.NewState(0)
+		if _, _, err := m.Run(p, st, 0); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	s := m.Stats()
+	if s.Runs != 3 {
+		t.Fatalf("Runs = %d, want 3", s.Runs)
+	}
+	if s.WarmRuns != 2 {
+		t.Fatalf("WarmRuns = %d, want 2 (first run is cold)", s.WarmRuns)
+	}
+	if s.Translations == 0 {
+		t.Fatal("expected the loop to be translated")
+	}
+	m.Reset()
+	if s := m.Stats(); s.Runs != 0 || s.WarmRuns != 0 {
+		t.Fatalf("Reset should zero run counters: %+v", s)
+	}
+}

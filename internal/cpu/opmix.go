@@ -80,13 +80,17 @@ func (e EffCosts) Mops(ops float64, mix *isa.Trace) float64 {
 	return ops / s / 1e6
 }
 
-// CalibrateFor calibrates with a workload-specific expected cache-miss
-// rate on loads — large working sets (NPB Class W grids, treecode bodies)
-// miss far more than the tiny calibration arena. For hardware models the
-// arch's LoadMissRate is replaced; for the Crusoe the flat VLIW load
-// latency is raised by the expected miss cost (its on-die L2 kept the
-// penalty modest).
-func CalibrateFor(p Processor, missRate float64) (EffCosts, error) {
+// CalibrateForUncached calibrates with a workload-specific expected
+// cache-miss rate on loads — large working sets (NPB Class W grids,
+// treecode bodies) miss far more than the tiny calibration arena. For
+// hardware models the arch's LoadMissRate is replaced; for the Crusoe
+// the flat VLIW load latency is raised by the expected miss cost (its
+// on-die L2 kept the penalty modest).
+//
+// Every call re-runs the full per-class kernel simulations; most callers
+// want the memoized CalibrateFor, keeping this as the explicit bypass
+// for ablations that must observe a fresh simulation.
+func CalibrateForUncached(p Processor, missRate float64) (EffCosts, error) {
 	switch pr := p.(type) {
 	case archProcessor:
 		a := *pr.a
@@ -100,9 +104,9 @@ func CalibrateFor(p Processor, missRate float64) (EffCosts, error) {
 		}
 		return Calibrate(a.AsProcessor())
 	case *Crusoe:
-		c := *pr
+		c := pr.Clone()
 		c.Timing.LoadLatency += int(missRate*10 + 0.5)
-		return Calibrate(&c)
+		return Calibrate(c)
 	default:
 		return Calibrate(p)
 	}

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"sync"
+
 	"repro/internal/cms"
 	"repro/internal/isa"
 	"repro/internal/vliw"
@@ -30,13 +32,36 @@ func (p archProcessor) RunKernel(prog isa.Program, st *isa.State) (RunResult, er
 }
 
 // Crusoe is the TM5600/TM5800 processor model: the CMS software layer over
-// the VLIW engine. Each RunKernel starts with a cold translation cache, as
-// a freshly loaded benchmark binary would.
+// the VLIW engine. By default each RunKernel starts with a cold translation
+// cache, as a freshly loaded benchmark binary would; WarmStart opts into
+// reusing the cache across kernels.
 type Crusoe struct {
 	ModelName string
 	MHz       float64
 	Params    cms.Params
 	Timing    vliw.Timing
+	// WarmStart reuses one CMS machine — and therefore its translation
+	// cache and profile — across RunKernel calls, modelling a long-lived
+	// process re-entering already-morphed code. The cold-cache default
+	// preserves the paper's "freshly loaded binary" semantics; warm runs
+	// are visible in WarmStats (cms.Stats.WarmRuns vs Runs).
+	WarmStart bool
+
+	warmMu sync.Mutex
+	warm   *cms.Machine
+}
+
+// Clone returns a Crusoe with the same model configuration and its own
+// (cold) warm-start state. Use this instead of copying a Crusoe by
+// value, which would copy its internal lock.
+func (c *Crusoe) Clone() *Crusoe {
+	return &Crusoe{
+		ModelName: c.ModelName,
+		MHz:       c.MHz,
+		Params:    c.Params,
+		Timing:    c.Timing,
+		WarmStart: c.WarmStart,
+	}
 }
 
 // NewTM5600 returns the 633-MHz TM5600 with CMS 4.2.x-like parameters.
@@ -75,8 +100,13 @@ func NewTM5800() *Crusoe {
 func (c *Crusoe) Name() string      { return c.ModelName }
 func (c *Crusoe) ClockMHz() float64 { return c.MHz }
 
-// RunKernel runs the program through a fresh CMS instance.
+// RunKernel runs the program through a CMS instance: a fresh one per
+// call by default (cold translation cache), or the persistent warm
+// machine when WarmStart is set.
 func (c *Crusoe) RunKernel(p isa.Program, st *isa.State) (RunResult, error) {
+	if c.WarmStart {
+		return c.runWarm(p, st)
+	}
 	m := cms.NewMachine(c.Params, c.Timing)
 	cycles, tr, err := m.Run(p, st, 0)
 	if err != nil {
@@ -88,6 +118,39 @@ func (c *Crusoe) RunKernel(p isa.Program, st *isa.State) (RunResult, error) {
 	}
 	res.Seconds = res.Cycles / (c.MHz * 1e6)
 	return res, nil
+}
+
+// runWarm executes on the persistent machine. Its cycle counters
+// accumulate across runs, so this run's cost is the delta.
+func (c *Crusoe) runWarm(p isa.Program, st *isa.State) (RunResult, error) {
+	c.warmMu.Lock()
+	defer c.warmMu.Unlock()
+	if c.warm == nil {
+		c.warm = cms.NewMachine(c.Params, c.Timing)
+	}
+	before := c.warm.Stats().TotalCycles()
+	cycles, tr, err := c.warm.Run(p, st, 0)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{
+		Cycles: float64(cycles - before),
+		Trace:  tr,
+	}
+	res.Seconds = res.Cycles / (c.MHz * 1e6)
+	return res, nil
+}
+
+// WarmStats returns the persistent warm machine's accumulated CMS
+// statistics (the zero Stats before any warm-start run). Its Runs and
+// WarmRuns counters distinguish cold from warm executions.
+func (c *Crusoe) WarmStats() cms.Stats {
+	c.warmMu.Lock()
+	defer c.warmMu.Unlock()
+	if c.warm == nil {
+		return cms.Stats{}
+	}
+	return c.warm.Stats()
 }
 
 // Machine returns a fresh CMS machine with this model's parameters, for

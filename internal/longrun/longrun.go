@@ -89,7 +89,7 @@ func Sweep(base *cpu.Crusoe, states []State, build func() (isa.Program, *isa.Sta
 	}
 	var out []Measurement
 	for _, st := range states {
-		c := *base
+		c := base.Clone()
 		c.MHz = st.MHz
 		prog, ist, err := build()
 		if err != nil {

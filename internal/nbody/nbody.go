@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -129,34 +130,43 @@ func randUnitVector(rng *sim.RNG) (x, y, z float64) {
 	}
 }
 
+// directGrain is the per-chunk particle count of the parallel direct
+// loop (each particle already costs O(N) inner work).
+const directGrain = 64
+
 // DirectForces computes softened gravitational accelerations by direct
-// summation — O(N²), the accuracy reference for the treecode.
-func (s *System) DirectForces() {
+// summation — O(N²), the accuracy reference for the treecode. The outer
+// loop runs on the process-wide host worker pool; each particle's inner
+// accumulation is serial and unchanged, so results are bit-identical to
+// a single-threaded run at any worker count.
+func (s *System) DirectForces() { s.DirectForcesWith(par.Default()) }
+
+// DirectForcesWith is DirectForces on an explicit worker pool.
+func (s *System) DirectForcesWith(pool *par.Pool) {
 	n := s.N()
 	eps2 := s.Eps * s.Eps
-	for i := 0; i < n; i++ {
-		s.AX[i], s.AY[i], s.AZ[i] = 0, 0, 0
-	}
-	for i := 0; i < n; i++ {
-		xi, yi, zi := s.X[i], s.Y[i], s.Z[i]
-		var ax, ay, az float64
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+	pool.For(n, directGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi, yi, zi := s.X[i], s.Y[i], s.Z[i]
+			var ax, ay, az float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				dx := s.X[j] - xi
+				dy := s.Y[j] - yi
+				dz := s.Z[j] - zi
+				r2 := dx*dx + dy*dy + dz*dz + eps2
+				rinv := 1 / math.Sqrt(r2)
+				rinv3 := s.G * s.M[j] * rinv * rinv * rinv
+				ax += rinv3 * dx
+				ay += rinv3 * dy
+				az += rinv3 * dz
 			}
-			dx := s.X[j] - xi
-			dy := s.Y[j] - yi
-			dz := s.Z[j] - zi
-			r2 := dx*dx + dy*dy + dz*dz + eps2
-			rinv := 1 / math.Sqrt(r2)
-			rinv3 := s.G * s.M[j] * rinv * rinv * rinv
-			ax += rinv3 * dx
-			ay += rinv3 * dy
-			az += rinv3 * dz
+			s.AX[i], s.AY[i], s.AZ[i] = ax, ay, az
 		}
-		s.AX[i], s.AY[i], s.AZ[i] = ax, ay, az
-		s.Interactions += uint64(n - 1)
-	}
+	})
+	s.Interactions += uint64(n) * uint64(n-1)
 }
 
 // Flops returns the accumulated flop count under the treecode-paper

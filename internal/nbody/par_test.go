@@ -1,0 +1,30 @@
+package nbody
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestDirectForcesBitIdentical asserts the parallel direct-summation
+// loop produces bit-identical accelerations (and the same interaction
+// count) at worker counts 1, 2 and 8.
+func TestDirectForcesBitIdentical(t *testing.T) {
+	run := func(w int) *System {
+		s := NewPlummer(1500, 1, 77)
+		s.DirectForcesWith(par.New(w))
+		return s
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if got.Interactions != ref.Interactions {
+			t.Fatalf("workers=%d interactions %d != serial %d", w, got.Interactions, ref.Interactions)
+		}
+		for i := 0; i < ref.N(); i++ {
+			if got.AX[i] != ref.AX[i] || got.AY[i] != ref.AY[i] || got.AZ[i] != ref.AZ[i] {
+				t.Fatalf("workers=%d: acceleration of particle %d differs from serial", w, i)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/nbody"
+	"repro/internal/par"
 	"repro/internal/treecode"
 )
 
@@ -86,9 +87,17 @@ type Gas struct {
 	SelfGravity bool
 	// Theta is the gravity MAC (used only with SelfGravity).
 	Theta float64
+	// Workers is the host worker-pool width for the density and force
+	// loops; 0 follows par.Workers(). Both loops are gather-form (each
+	// particle accumulates only into its own slots), so results are
+	// bit-identical at every width.
+	Workers int
 	// NeighborCount reports the average neighbours in the last Step.
 	NeighborCount float64
 }
+
+// sphGrain is the per-chunk particle count of the parallel SPH loops.
+const sphGrain = 256
 
 // NewGas wraps a particle system with uniform specific internal energy.
 func NewGas(s *nbody.System, h, u0 float64) (*Gas, error) {
@@ -120,28 +129,34 @@ func NewGas(s *nbody.System, h, u0 float64) (*Gas, error) {
 // ComputeDensity fills Rho (and P via the EOS) by kernel summation over
 // tree-found neighbours. Returns the tree for reuse.
 func (g *Gas) ComputeDensity() (*treecode.Tree, error) {
-	t, err := treecode.Build(treecode.SourcesFromSystem(g.System), treecode.BuildOptions{Bucket: 16})
+	t, err := treecode.Build(treecode.SourcesFromSystem(g.System), treecode.BuildOptions{Bucket: 16, Workers: g.Workers})
 	if err != nil {
 		return nil, err
 	}
 	support := g.Kernel.Support()
-	var totalNbr int
-	scratch := make([]int, 0, 64)
-	for i := 0; i < g.N(); i++ {
-		scratch = g.neighborsOf(t, i, support, scratch[:0])
-		totalNbr += len(scratch)
-		rho := 0.0
-		for _, si := range scratch {
-			s := t.Sources[si]
-			dx := s.X - g.X[i]
-			dy := s.Y - g.Y[i]
-			dz := s.Z - g.Z[i]
-			r := math.Sqrt(dx*dx + dy*dy + dz*dz)
-			rho += s.M * g.Kernel.W(r)
-		}
-		g.Rho[i] = rho
-		g.P[i] = (g.Gamma - 1) * rho * g.U[i]
-	}
+	pool := par.New(g.Workers)
+	totalNbr := par.Reduce(pool, g.N(), sphGrain, 0,
+		func(lo, hi int) int {
+			nbr := 0
+			scratch := make([]int, 0, 64)
+			for i := lo; i < hi; i++ {
+				scratch = g.neighborsOf(t, i, support, scratch[:0])
+				nbr += len(scratch)
+				rho := 0.0
+				for _, si := range scratch {
+					s := t.Sources[si]
+					dx := s.X - g.X[i]
+					dy := s.Y - g.Y[i]
+					dz := s.Z - g.Z[i]
+					r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+					rho += s.M * g.Kernel.W(r)
+				}
+				g.Rho[i] = rho
+				g.P[i] = (g.Gamma - 1) * rho * g.U[i]
+			}
+			return nbr
+		},
+		func(a, b int) int { return a + b })
 	g.NeighborCount = float64(totalNbr) / float64(g.N())
 	return t, nil
 }
@@ -167,49 +182,52 @@ func (g *Gas) Accelerations() ([]float64, error) {
 	for i := 0; i < n; i++ {
 		cs[i] = math.Sqrt(g.Gamma * g.P[i] / math.Max(g.Rho[i], 1e-300))
 	}
-	scratch := make([]int, 0, 64)
-	for i := 0; i < n; i++ {
-		scratch = g.neighborsOf(t, i, support, scratch[:0])
-		pi := g.P[i] / (g.Rho[i] * g.Rho[i])
-		for _, si := range scratch {
-			j := t.Sources[si].Index
-			if j == i || j < 0 {
-				continue
-			}
-			dx := g.X[i] - g.X[j]
-			dy := g.Y[i] - g.Y[j]
-			dz := g.Z[i] - g.Z[j]
-			r := math.Sqrt(dx*dx + dy*dy + dz*dz)
-			gw := g.Kernel.GradWOverR(r)
-			pj := g.P[j] / (g.Rho[j] * g.Rho[j])
+	pool := par.New(g.Workers)
+	pool.For(n, sphGrain, func(lo, hi int) {
+		scratch := make([]int, 0, 64)
+		for i := lo; i < hi; i++ {
+			scratch = g.neighborsOf(t, i, support, scratch[:0])
+			pi := g.P[i] / (g.Rho[i] * g.Rho[i])
+			for _, si := range scratch {
+				j := t.Sources[si].Index
+				if j == i || j < 0 {
+					continue
+				}
+				dx := g.X[i] - g.X[j]
+				dy := g.Y[i] - g.Y[j]
+				dz := g.Z[i] - g.Z[j]
+				r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				gw := g.Kernel.GradWOverR(r)
+				pj := g.P[j] / (g.Rho[j] * g.Rho[j])
 
-			// Monaghan artificial viscosity.
-			visc := 0.0
-			dvx := g.VX[i] - g.VX[j]
-			dvy := g.VY[i] - g.VY[j]
-			dvz := g.VZ[i] - g.VZ[j]
-			vdotr := dvx*dx + dvy*dy + dvz*dz
-			if g.AlphaVisc > 0 && vdotr < 0 {
-				h := g.Kernel.H
-				mu := h * vdotr / (r*r + 0.01*h*h)
-				cij := 0.5 * (cs[i] + cs[j])
-				rhoij := 0.5 * (g.Rho[i] + g.Rho[j])
-				visc = (-g.AlphaVisc*cij*mu + g.BetaVisc*mu*mu) / rhoij
-			}
+				// Monaghan artificial viscosity.
+				visc := 0.0
+				dvx := g.VX[i] - g.VX[j]
+				dvy := g.VY[i] - g.VY[j]
+				dvz := g.VZ[i] - g.VZ[j]
+				vdotr := dvx*dx + dvy*dy + dvz*dz
+				if g.AlphaVisc > 0 && vdotr < 0 {
+					h := g.Kernel.H
+					mu := h * vdotr / (r*r + 0.01*h*h)
+					cij := 0.5 * (cs[i] + cs[j])
+					rhoij := 0.5 * (g.Rho[i] + g.Rho[j])
+					visc = (-g.AlphaVisc*cij*mu + g.BetaVisc*mu*mu) / rhoij
+				}
 
-			f := (pi + pj + visc) * gw
-			// gw is (1/r)dW/dr < 0; force on i points away from j for
-			// positive pressure: a_i = -m_j (…) ∇_i W = -m_j (…) gw · d.
-			g.AX[i] -= g.M[j] * f * dx
-			g.AY[i] -= g.M[j] * f * dy
-			g.AZ[i] -= g.M[j] * f * dz
-			// Energy equation: du_i/dt = +½ Σ m_j (…) v_ij·∇_iW, with
-			// ∇_iW = gw·d; separation (v_ij·d > 0, gw < 0) cools.
-			dudt[i] += 0.5 * g.M[j] * (pi + pj + visc) * gw * vdotr
+				f := (pi + pj + visc) * gw
+				// gw is (1/r)dW/dr < 0; force on i points away from j for
+				// positive pressure: a_i = -m_j (…) ∇_i W = -m_j (…) gw · d.
+				g.AX[i] -= g.M[j] * f * dx
+				g.AY[i] -= g.M[j] * f * dy
+				g.AZ[i] -= g.M[j] * f * dz
+				// Energy equation: du_i/dt = +½ Σ m_j (…) v_ij·∇_iW, with
+				// ∇_iW = gw·d; separation (v_ij·d > 0, gw < 0) cools.
+				dudt[i] += 0.5 * g.M[j] * (pi + pj + visc) * gw * vdotr
+			}
 		}
-	}
+	})
 	if g.SelfGravity {
-		grav := &treecode.Forcer{Theta: g.Theta}
+		grav := &treecode.Forcer{Theta: g.Theta, Workers: g.Workers}
 		gx := make([]float64, n)
 		gy := make([]float64, n)
 		gz := make([]float64, n)

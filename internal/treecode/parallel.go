@@ -213,13 +213,16 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 		}
 		boxes := c.Allgather([]float64{myBox.CX, myBox.CY, myBox.CZ, myBox.Half})
 
-		// Local tree for LET construction.
+		// Local tree for LET construction. (The error must stay
+		// rank-local: assigning the enclosing err from every rank
+		// goroutine is a data race.)
 		var localTree *Tree
 		if len(local) > 0 {
-			localTree, err = Build(local, BuildOptions{Bucket: cfg.Bucket, Quadrupole: cfg.Quadrupole})
-			if err != nil {
-				return err
+			lt, berr := Build(local, BuildOptions{Bucket: cfg.Bucket, Quadrupole: cfg.Quadrupole})
+			if berr != nil {
+				return berr
 			}
+			localTree = lt
 			c.AddCompute(cfg.Cost.SecondsPerBuildSource * float64(len(local)))
 		}
 

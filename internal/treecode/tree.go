@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/nbody"
+	"repro/internal/par"
 )
 
 // Source is a gravitating point: a particle or an exported cell's
@@ -52,7 +53,22 @@ type BuildOptions struct {
 	Bucket     int  // max particles per leaf (default 8)
 	MaxDepth   int  // default 20 (one less than key resolution)
 	Quadrupole bool // compute quadrupole moments
+	// Workers is the host worker-pool width used for key generation and
+	// per-octant subtree construction; 0 follows par.Workers(). The tree
+	// (node order, moments, hash) is bit-identical at every width.
+	Workers int
 }
+
+// Morton-key generation grain and the size below which a parallel build
+// isn't worth the fan-out. Fixed constants so chunking never depends on
+// the worker count.
+const (
+	keyGrain      = 8192
+	parallelBuild = 4096
+	// spineDepth is how many levels the serial spine descends before
+	// handing octant subtrees to the pool (up to 8^spineDepth tasks).
+	spineDepth = 2
+)
 
 // Build constructs a tree over the sources.
 func Build(sources []Source, opt BuildOptions) (*Tree, error) {
@@ -68,6 +84,7 @@ func Build(sources []Source, opt BuildOptions) (*Tree, error) {
 	if opt.MaxDepth >= KeyBits {
 		opt.MaxDepth = KeyBits - 1
 	}
+	pool := par.New(opt.Workers)
 	xs := make([]float64, len(sources))
 	ys := make([]float64, len(sources))
 	zs := make([]float64, len(sources))
@@ -86,13 +103,17 @@ func Build(sources []Source, opt BuildOptions) (*Tree, error) {
 		Quadrupole: opt.Quadrupole,
 		MaxDepth:   opt.MaxDepth,
 	}
-	// Sort sources by Morton key.
+	// Sort sources by Morton key. Key generation is embarrassingly
+	// parallel; the sort stays serial (it is not the dominant cost and
+	// serial pdqsort is deterministic).
 	keys := make([]Key, len(t.Sources))
 	idx := make([]int, len(t.Sources))
-	for i := range t.Sources {
-		keys[i] = MortonKey(t.Sources[i].X, t.Sources[i].Y, t.Sources[i].Z, root)
-		idx[i] = i
-	}
+	pool.For(len(t.Sources), keyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = MortonKey(t.Sources[i].X, t.Sources[i].Y, t.Sources[i].Z, root)
+			idx[i] = i
+		}
+	})
 	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
 	sorted := make([]Source, len(t.Sources))
 	sortedKeys := make([]Key, len(t.Sources))
@@ -102,47 +123,184 @@ func Build(sources []Source, opt BuildOptions) (*Tree, error) {
 	}
 	t.Sources = sorted
 
-	t.build(RootKey, root, 0, len(t.Sources), 0, sortedKeys)
+	b := &builder{
+		sources:  t.Sources,
+		keys:     sortedKeys,
+		bucket:   t.Bucket,
+		maxDepth: t.MaxDepth,
+		quad:     t.Quadrupole,
+	}
+	if len(t.Sources) >= parallelBuild && pool.W != 1 {
+		b.buildParallel(RootKey, root, pool)
+	} else {
+		b.build(RootKey, root, 0, len(t.Sources), 0)
+	}
+	t.Nodes = b.nodes
+	for i := range t.Nodes {
+		t.ByKey[t.Nodes[i].Key] = int32(i)
+	}
 	return t, nil
+}
+
+// builder is a tree-construction arena: the recursion state plus the
+// node slice being grown. Parallel builds use one builder per octant
+// subtree and stitch the arenas together in DFS preorder, so the final
+// node array is byte-identical to a fully serial build.
+type builder struct {
+	sources  []Source
+	keys     []Key
+	bucket   int
+	maxDepth int
+	quad     bool
+	nodes    []Node
+}
+
+// child returns a builder sharing the read-only inputs with an empty
+// node arena.
+func (b *builder) child() *builder {
+	return &builder{sources: b.sources, keys: b.keys, bucket: b.bucket, maxDepth: b.maxDepth, quad: b.quad}
+}
+
+// octants partitions the key-sorted run [lo,hi) at the given level into
+// its eight octant runs by binary search on the key bits.
+func (b *builder) octants(lo, hi, level int) (bounds [9]int) {
+	shift := uint(3 * (KeyBits - 1 - level))
+	start := lo
+	bounds[0] = lo
+	for oct := 0; oct < 8; oct++ {
+		end := start + sort.Search(hi-start, func(i int) bool {
+			return int((b.keys[start+i]>>shift)&7) > oct
+		})
+		bounds[oct+1] = end
+		start = end
+	}
+	return bounds
 }
 
 // build recursively constructs the node covering sources [lo,hi) at the
 // given level and returns its node index.
-func (t *Tree) build(key Key, box Box, lo, hi, level int, keys []Key) int32 {
-	ni := int32(len(t.Nodes))
-	t.Nodes = append(t.Nodes, Node{Key: key, Box: box, First: lo, Count: hi - lo})
-	for i := range t.Nodes[ni].Children {
-		t.Nodes[ni].Children[i] = -1
+func (b *builder) build(key Key, box Box, lo, hi, level int) int32 {
+	ni := int32(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Key: key, Box: box, First: lo, Count: hi - lo})
+	for i := range b.nodes[ni].Children {
+		b.nodes[ni].Children[i] = -1
 	}
-	t.ByKey[key] = ni
 
-	if hi-lo <= t.Bucket || level >= t.MaxDepth {
-		t.Nodes[ni].Leaf = true
-		t.computeLeafMoments(ni)
+	if hi-lo <= b.bucket || level >= b.maxDepth {
+		b.nodes[ni].Leaf = true
+		b.computeLeafMoments(ni)
 		return ni
 	}
-	// Partition [lo,hi) into octants using the key bits at this level.
-	shift := uint(3 * (KeyBits - 1 - level))
-	start := lo
+	bounds := b.octants(lo, hi, level)
 	for oct := 0; oct < 8; oct++ {
-		// Binary search for the end of this octant's run.
-		end := start + sort.Search(hi-start, func(i int) bool {
-			return int((keys[start+i]>>shift)&7) > oct
-		})
-		if end > start {
-			ci := t.build(key.Child(oct), box.Octant(oct), start, end, level+1, keys)
-			t.Nodes[ni].Children[oct] = ci
+		if bounds[oct+1] > bounds[oct] {
+			ci := b.build(key.Child(oct), box.Octant(oct), bounds[oct], bounds[oct+1], level+1)
+			b.nodes[ni].Children[oct] = ci
 		}
-		start = end
 	}
-	t.computeInternalMoments(ni)
+	b.computeInternalMoments(ni)
 	return ni
 }
 
-func (t *Tree) computeLeafMoments(ni int32) {
-	n := &t.Nodes[ni]
+// spineNode is one internal node of the serial spine: the top levels of
+// the tree, whose frontier children are built as parallel tasks.
+type spineNode struct {
+	key      Key
+	box      Box
+	lo, hi   int
+	level    int
+	children [8]*spineNode
+	// task indexes the deferred-subtree list; -1 for internal spine
+	// nodes (which have children instead).
+	task int
+}
+
+// buildParallel builds the tree with per-octant subtree fan-out: a
+// serial spine descends spineDepth levels collecting subtree tasks, the
+// pool builds each task's arena concurrently, and emit stitches the
+// arenas back in DFS preorder — reproducing the serial node order, and
+// therefore (with the same per-node accumulation order) the serial
+// float results, bit for bit.
+func (b *builder) buildParallel(key Key, box Box, pool *par.Pool) {
+	var tasks []*spineNode
+	var spine func(key Key, box Box, lo, hi, level int) *spineNode
+	spine = func(key Key, box Box, lo, hi, level int) *spineNode {
+		sn := &spineNode{key: key, box: box, lo: lo, hi: hi, level: level, task: -1}
+		if hi-lo <= b.bucket || level >= b.maxDepth || level >= spineDepth {
+			sn.task = len(tasks)
+			tasks = append(tasks, sn)
+			return sn
+		}
+		bounds := b.octants(lo, hi, level)
+		for oct := 0; oct < 8; oct++ {
+			if bounds[oct+1] > bounds[oct] {
+				sn.children[oct] = spine(key.Child(oct), box.Octant(oct), bounds[oct], bounds[oct+1], level+1)
+			}
+		}
+		return sn
+	}
+	root := spine(key, box, 0, len(b.sources), 0)
+
+	arenas := make([]*builder, len(tasks))
+	thunks := make([]func(), len(tasks))
+	for i, sn := range tasks {
+		i, sn := i, sn
+		thunks[i] = func() {
+			tb := b.child()
+			tb.build(sn.key, sn.box, sn.lo, sn.hi, sn.level)
+			arenas[i] = tb
+		}
+	}
+	pool.Do(thunks...)
+
+	b.nodes = make([]Node, 0, totalNodes(arenas)+len(tasks))
+	b.emit(root, arenas)
+}
+
+func totalNodes(arenas []*builder) int {
+	n := 0
+	for _, a := range arenas {
+		n += len(a.nodes)
+	}
+	return n
+}
+
+// emit appends the subtree rooted at sn to the arena in DFS preorder and
+// returns its node index. Task arenas are spliced in with their child
+// indices rebased; spine nodes get their moments computed bottom-up in
+// octant order, exactly as the serial recursion does.
+func (b *builder) emit(sn *spineNode, arenas []*builder) int32 {
+	if sn.task >= 0 {
+		off := int32(len(b.nodes))
+		for _, n := range arenas[sn.task].nodes {
+			for i, ci := range n.Children {
+				if ci >= 0 {
+					n.Children[i] = ci + off
+				}
+			}
+			b.nodes = append(b.nodes, n)
+		}
+		return off
+	}
+	ni := int32(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Key: sn.key, Box: sn.box, First: sn.lo, Count: sn.hi - sn.lo})
+	for i := range b.nodes[ni].Children {
+		b.nodes[ni].Children[i] = -1
+	}
+	for oct := 0; oct < 8; oct++ {
+		if sn.children[oct] != nil {
+			ci := b.emit(sn.children[oct], arenas)
+			b.nodes[ni].Children[oct] = ci
+		}
+	}
+	b.computeInternalMoments(ni)
+	return ni
+}
+
+func (b *builder) computeLeafMoments(ni int32) {
+	n := &b.nodes[ni]
 	for i := n.First; i < n.First+n.Count; i++ {
-		s := t.Sources[i]
+		s := b.sources[i]
 		n.M += s.M
 		n.CX += s.M * s.X
 		n.CY += s.M * s.Y
@@ -153,21 +311,21 @@ func (t *Tree) computeLeafMoments(ni int32) {
 		n.CY /= n.M
 		n.CZ /= n.M
 	}
-	if t.Quadrupole {
+	if b.quad {
 		for i := n.First; i < n.First+n.Count; i++ {
-			s := t.Sources[i]
+			s := b.sources[i]
 			accumQuad(n, s.M, s.X-n.CX, s.Y-n.CY, s.Z-n.CZ)
 		}
 	}
 }
 
-func (t *Tree) computeInternalMoments(ni int32) {
-	n := &t.Nodes[ni]
+func (b *builder) computeInternalMoments(ni int32) {
+	n := &b.nodes[ni]
 	for _, ci := range n.Children {
 		if ci < 0 {
 			continue
 		}
-		c := &t.Nodes[ci]
+		c := &b.nodes[ci]
 		n.M += c.M
 		n.CX += c.M * c.CX
 		n.CY += c.M * c.CY
@@ -178,14 +336,14 @@ func (t *Tree) computeInternalMoments(ni int32) {
 		n.CY /= n.M
 		n.CZ /= n.M
 	}
-	if t.Quadrupole {
+	if b.quad {
 		// Parallel-axis shift of children's quadrupoles plus their
 		// monopole displacement terms.
 		for _, ci := range n.Children {
 			if ci < 0 {
 				continue
 			}
-			c := &t.Nodes[ci]
+			c := &b.nodes[ci]
 			n.QXX += c.QXX
 			n.QYY += c.QYY
 			n.QZZ += c.QZZ
@@ -301,9 +459,16 @@ type Forcer struct {
 	Theta      float64
 	Bucket     int
 	Quadrupole bool
+	// Workers is the host worker-pool width for the build and the force
+	// loop; 0 follows par.Workers(). Forces are bit-identical at every
+	// width (each particle's tree walk is independent).
+	Workers int
 	// LastStats reports the most recent force computation's work.
 	LastStats Stats
 }
+
+// forceGrain is the per-chunk particle count of the parallel force loop.
+const forceGrain = 512
 
 // Forces implements nbody.Forcer: builds a fresh tree over the system and
 // fills its acceleration arrays.
@@ -313,16 +478,28 @@ func (f *Forcer) Forces(s *nbody.System) error {
 		theta = 0.7
 	}
 	srcs := SourcesFromSystem(s)
-	t, err := Build(srcs, BuildOptions{Bucket: f.Bucket, Quadrupole: f.Quadrupole})
+	t, err := Build(srcs, BuildOptions{Bucket: f.Bucket, Quadrupole: f.Quadrupole, Workers: f.Workers})
 	if err != nil {
 		return err
 	}
+	pool := par.New(f.Workers)
+	n := s.N()
+	// Per-chunk interaction counters, combined in chunk order (integer
+	// sums, but the ordered combine keeps the pattern uniform).
+	chunkStats := make([]Stats, par.NumChunks(n, forceGrain))
+	pool.ForChunks(n, forceGrain, func(c, lo, hi int) {
+		st := &chunkStats[c]
+		for i := lo; i < hi; i++ {
+			ax, ay, az := t.ForceAt(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, st)
+			s.AX[i] = s.G * ax
+			s.AY[i] = s.G * ay
+			s.AZ[i] = s.G * az
+		}
+	})
 	var st Stats
-	for i := 0; i < s.N(); i++ {
-		ax, ay, az := t.ForceAt(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &st)
-		s.AX[i] = s.G * ax
-		s.AY[i] = s.G * ay
-		s.AZ[i] = s.G * az
+	for _, cs := range chunkStats {
+		st.PP += cs.PP
+		st.PC += cs.PC
 	}
 	f.LastStats = st
 	s.Interactions += st.Interactions()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/treecode"
 )
 
@@ -109,12 +110,20 @@ func (p *Particles) BuildTrees(opt treecode.BuildOptions) (*FieldTrees, error) {
 		return treecode.Build(srcs, opt)
 	}
 	f := &FieldTrees{eps: p.Eps}
-	for c, g := range [][]float64{p.GX, p.GY, p.GZ} {
-		var err error
-		if f.pos[c], err = mk(g, 1); err != nil {
-			return nil, err
-		}
-		if f.neg[c], err = mk(g, -1); err != nil {
+	// The six signed-component trees are independent builds; run them on
+	// the pool (each Build also parallelizes internally for large N).
+	comps := [3][]float64{p.GX, p.GY, p.GZ}
+	var errs [6]error
+	tasks := make([]func(), 0, 6)
+	for c := 0; c < 3; c++ {
+		c := c
+		tasks = append(tasks,
+			func() { f.pos[c], errs[2*c] = mk(comps[c], 1) },
+			func() { f.neg[c], errs[2*c+1] = mk(comps[c], -1) })
+	}
+	par.New(opt.Workers).Do(tasks...)
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -126,13 +135,20 @@ func (p *Particles) BuildTrees(opt treecode.BuildOptions) (*FieldTrees, error) {
 // the cross product is assembled from the three component fields. The
 // MAC θ trades accuracy for work exactly as in the gravity code.
 func (f *FieldTrees) Velocity(x, y, z, theta float64) (ux, uy, uz float64) {
+	return f.VelocityStats(x, y, z, theta, &f.Stats)
+}
+
+// VelocityStats is Velocity with an explicit interaction-stats
+// accumulator, for callers evaluating many points concurrently (the
+// shared Stats field would otherwise race).
+func (f *FieldTrees) VelocityStats(x, y, z, theta float64, st *treecode.Stats) (ux, uy, uz float64) {
 	// ForceAt returns F^m = Σ m_j d_j/|d_j|³ with d_j = x_j − x (toward
 	// the source); Biot–Savart needs Σ (x − x_j) × Γ_j = Σ (−d_j) × Γ_j,
 	// and with the −1/(4π) prefactor the signs cancel to +1/(4π).
 	var fc [3][3]float64 // fc[c] = F^{Γ_c}
 	for c := 0; c < 3; c++ {
-		px, py, pz := f.pos[c].ForceAt(x, y, z, -1, theta, f.eps, &f.Stats)
-		nx, ny, nz := f.neg[c].ForceAt(x, y, z, -1, theta, f.eps, &f.Stats)
+		px, py, pz := f.pos[c].ForceAt(x, y, z, -1, theta, f.eps, st)
+		nx, ny, nz := f.neg[c].ForceAt(x, y, z, -1, theta, f.eps, st)
 		fc[c] = [3]float64{px - nx, py - ny, pz - nz}
 	}
 	s := 1 / (4 * math.Pi)
@@ -142,8 +158,14 @@ func (f *FieldTrees) Velocity(x, y, z, theta float64) (ux, uy, uz float64) {
 	return ux, uy, uz
 }
 
+// velGrain is the per-chunk particle count of the parallel Biot–Savart
+// evaluation loop.
+const velGrain = 128
+
 // SelfVelocities computes the induced velocity at every particle
-// position with the tree method.
+// position with the tree method. Evaluations run on the host worker
+// pool (width from opt.Workers; 0 follows par.Workers()) and are
+// bit-identical at every width.
 func (p *Particles) SelfVelocities(theta float64, opt treecode.BuildOptions) (ux, uy, uz []float64, stats treecode.Stats, err error) {
 	trees, err := p.BuildTrees(opt)
 	if err != nil {
@@ -153,8 +175,17 @@ func (p *Particles) SelfVelocities(theta float64, opt treecode.BuildOptions) (ux
 	ux = make([]float64, n)
 	uy = make([]float64, n)
 	uz = make([]float64, n)
-	for i := 0; i < n; i++ {
-		ux[i], uy[i], uz[i] = trees.Velocity(p.X[i], p.Y[i], p.Z[i], theta)
+	pool := par.New(opt.Workers)
+	chunkStats := make([]treecode.Stats, par.NumChunks(n, velGrain))
+	pool.ForChunks(n, velGrain, func(c, lo, hi int) {
+		st := &chunkStats[c]
+		for i := lo; i < hi; i++ {
+			ux[i], uy[i], uz[i] = trees.VelocityStats(p.X[i], p.Y[i], p.Z[i], theta, st)
+		}
+	})
+	for _, cs := range chunkStats {
+		trees.Stats.PP += cs.PP
+		trees.Stats.PC += cs.PC
 	}
 	return ux, uy, uz, trees.Stats, nil
 }
