@@ -9,79 +9,99 @@
 //	metablade -all            # everything
 //	metablade -table 3 -class W
 //	metablade -table 2 -particles 60000
+//	metablade -obs-json out.json -trace out.trace
+//
+// With an observability output requested (-obs-json, -obs-csv, -trace,
+// or -format json) and no explicit table or figure selection, metablade
+// runs Tables 1 and 2 — the instrumented microkernel and scalability
+// experiments whose CMS, MPI and treecode counters populate the
+// snapshot.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/nas"
-	"repro/internal/par"
 )
 
 func main() {
+	d := core.NewDriver("metablade")
 	table := flag.Int("table", 0, "table number to regenerate (1..7)")
 	figure := flag.Int("figure", 0, "figure number to regenerate (3)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	class := flag.String("class", "W", "NPB class for table 3 (S, W, A)")
 	particles := flag.Int("particles", 0, "particle count override for table 2 / figure 3")
-	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
-		"host worker-pool width for tree build and force loops (independent of the simulated blade count)")
 	flag.Parse()
-	par.SetWorkers(*procs)
+	d.Check(d.Setup())
 
+	wantObs := d.ObsJSON != "" || d.ObsCSV != "" || d.TracePath != "" || d.Format == "json"
 	if !*all && *table == 0 && *figure == 0 {
-		flag.Usage()
-		os.Exit(2)
+		if !wantObs {
+			flag.Usage()
+			os.Exit(2)
+		}
+		// Observability-only invocation: run the two instrumented
+		// experiments that exercise CMS, MPI and the treecode.
+		_, t1, err := d.Run.Table1()
+		d.Check(err)
+		d.Textf("%s\n", t1)
+		cfg := core.DefaultTable2Config()
+		if *particles > 0 {
+			cfg.Particles = *particles
+		}
+		_, t2, err := d.Run.Table2(cfg)
+		d.Check(err)
+		d.Textf("%s\n", t2)
+		d.Check(d.Finish())
+		return
 	}
 	run := func(n int) bool { return *all || *table == n }
 
 	if run(1) {
-		_, t, err := core.Table1()
-		check(err)
-		fmt.Println(t)
+		_, t, err := d.Run.Table1()
+		d.Check(err)
+		d.Textf("%s\n", t)
 	}
 	if run(2) {
 		cfg := core.DefaultTable2Config()
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}
-		_, t, err := core.Table2(cfg)
-		check(err)
-		fmt.Println(t)
+		_, t, err := d.Run.Table2(cfg)
+		d.Check(err)
+		d.Textf("%s\n", t)
 	}
 	if run(3) {
-		_, t, err := core.Table3(nas.Class((*class)[0]))
-		check(err)
-		fmt.Println(t)
+		_, t, err := d.Run.Table3(nas.Class((*class)[0]))
+		d.Check(err)
+		d.Textf("%s\n", t)
 	}
 	if run(4) {
-		_, t, err := core.Table4()
-		check(err)
-		fmt.Println(t)
+		_, t, err := d.Run.Table4()
+		d.Check(err)
+		d.Textf("%s\n", t)
 	}
 	if run(5) {
-		_, t, err := core.Table5()
-		check(err)
-		fmt.Println(t)
-		s, err := core.ToPPeR()
-		check(err)
-		fmt.Printf("ToPPeR (TCO $/Mflops): traditional %.2f vs blade %.2f — advantage %.2fx\n",
+		_, t, err := d.Run.Table5()
+		d.Check(err)
+		d.Textf("%s\n", t)
+		s, err := d.Run.ToPPeR()
+		d.Check(err)
+		d.Textf("ToPPeR (TCO $/Mflops): traditional %.2f vs blade %.2f — advantage %.2fx\n",
 			s.TradToPPeR, s.BladeToPPeR, s.ToPPeRAdvantage)
-		fmt.Printf("Acquisition price/perf: traditional %.2f vs blade %.2f (blade costs %.2fx more per Mflops to acquire)\n\n",
+		d.Textf("Acquisition price/perf: traditional %.2f vs blade %.2f (blade costs %.2fx more per Mflops to acquire)\n\n",
 			s.TradPricePerf, s.BladePricePerf, s.PricePerfRatio)
 	}
 	if run(6) || run(7) {
-		_, t6, t7, err := core.SpacePower()
-		check(err)
+		_, t6, t7, err := d.Run.SpacePower()
+		d.Check(err)
 		if run(6) {
-			fmt.Println(t6)
+			d.Textf("%s\n", t6)
 		}
 		if run(7) {
-			fmt.Println(t7)
+			d.Textf("%s\n", t7)
 		}
 	}
 	if *all || *figure == 3 {
@@ -89,17 +109,11 @@ func main() {
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}
-		img, sys, err := core.Figure3(cfg)
-		check(err)
-		fmt.Printf("Figure 3: projected density after %d steps of a %d-particle collapse (%d interactions computed)\n",
+		img, sys, err := d.Run.Figure3(cfg)
+		d.Check(err)
+		d.Textf("Figure 3: projected density after %d steps of a %d-particle collapse (%d interactions computed)\n",
 			cfg.Steps, cfg.Particles, sys.Interactions)
-		fmt.Println(img.ASCII())
+		d.Textf("%s\n", img.ASCII())
 	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "metablade:", err)
-		os.Exit(1)
-	}
+	d.Check(d.Finish())
 }

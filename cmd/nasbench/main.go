@@ -6,24 +6,30 @@
 //	nasbench                    # all kernels, class S
 //	nasbench -class W           # the paper's Table 3 size
 //	nasbench -kernel EP -class W
+//	nasbench -class W -obs-json nas.json
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"flag"
+
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/nas"
+	"repro/internal/obs"
 )
 
 func main() {
+	d := core.NewDriver("nasbench")
 	kernel := flag.String("kernel", "", "run one kernel (BT, SP, LU, MG, EP, IS, CG); empty = all")
 	class := flag.String("class", "S", "problem class (S, W, A)")
 	rate := flag.Bool("rate", true, "rate on the Table 3 processors")
 	flag.Parse()
+	d.Check(d.Setup())
+	snap := d.Run.Snap
 
 	var costs []cpu.EffCosts
 	var procs []cpu.Processor
@@ -33,7 +39,7 @@ func main() {
 			// CalibrateFor is memoized process-wide, so re-rating more
 			// kernels (or tables) shares one calibration per processor.
 			e, err := cpu.CalibrateFor(p, cpu.MissRateClassW)
-			check(err)
+			d.Check(err)
 			costs = append(costs, e)
 		}
 	}
@@ -43,21 +49,34 @@ func main() {
 	for _, p := range procs {
 		header += fmt.Sprintf(" %18s", shortName(p.Name()))
 	}
-	fmt.Println(header)
+	d.Textf("%s\n", header)
 	for _, k := range ks {
 		if *kernel != "" && !strings.EqualFold(k.Name(), *kernel) {
 			continue
 		}
+		sp := d.Run.Tracer.Begin(obs.PidHost, 0, "nasbench", k.Name())
 		t0 := time.Now()
 		r, err := k.Run(nas.Class((*class)[0]))
-		check(err)
-		line := fmt.Sprintf("%-4s %-6s %-9v %-14.6g %-12v",
-			r.Kernel, r.Class, r.Verified, r.Checksum, time.Since(t0).Round(time.Millisecond))
-		for i := range procs {
-			line += fmt.Sprintf(" %15.1f Mops", costs[i].Mops(r.Ops, &r.Mix))
+		d.Check(err)
+		wall := time.Since(t0)
+		sp.End(map[string]any{"ops": r.Ops, "verified": r.Verified})
+		kname := obs.SanitizeName(k.Name())
+		snap.AddCounter("nasbench."+kname+".ops", "ops", "abstract operations executed", uint64(r.Ops))
+		snap.AddTimer("nasbench."+kname+".wall", "host wall time running the kernel", wall.Seconds())
+		if r.Verified {
+			snap.AddCounter("nasbench.verified", "", "kernels passing verification", 1)
 		}
-		fmt.Println(line)
+		line := fmt.Sprintf("%-4s %-6s %-9v %-14.6g %-12v",
+			r.Kernel, r.Class, r.Verified, r.Checksum, wall.Round(time.Millisecond))
+		for i, p := range procs {
+			m := costs[i].Mops(r.Ops, &r.Mix)
+			line += fmt.Sprintf(" %15.1f Mops", m)
+			snap.SetGauge("nasbench."+kname+"."+obs.SanitizeName(p.Name())+".mops", "Mops",
+				"kernel rating, class "+string(nas.Class((*class)[0])), m)
+		}
+		d.Textf("%s\n", line)
 	}
+	d.Check(d.Finish())
 }
 
 func shortName(s string) string {
@@ -66,11 +85,4 @@ func shortName(s string) string {
 		return strings.Join(fields[1:], " ")
 	}
 	return s
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nasbench:", err)
-		os.Exit(1)
-	}
 }

@@ -7,23 +7,25 @@
 //	nbodysim -n 20000 -steps 20 -theta 0.7
 //	nbodysim -n 2000 -direct -steps 10
 //	nbodysim -n 30000 -ranks 24 -render out.pgm
+//	nbodysim -n 10000 -ranks 8 -obs-json obs.json -trace run.trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mpi"
 	"repro/internal/nbody"
 	"repro/internal/netsim"
-	"repro/internal/par"
+	"repro/internal/obs"
 	"repro/internal/treecode"
 )
 
 func main() {
+	d := core.NewDriver("nbodysim")
 	n := flag.Int("n", 20000, "particle count")
 	steps := flag.Int("steps", 10, "leapfrog steps")
 	dt := flag.Float64("dt", 0.005, "time step")
@@ -31,12 +33,11 @@ func main() {
 	direct := flag.Bool("direct", false, "use O(N²) direct summation instead of the treecode")
 	quad := flag.Bool("quadrupole", false, "use quadrupole moments")
 	ranks := flag.Int("ranks", 0, "simulate a parallel run on this many TM5600 blades (0 = serial)")
-	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
-		"host worker-pool width for tree build and force loops (independent of the simulated -ranks)")
 	render := flag.String("render", "", "write a PGM density rendering to this file")
 	ascii := flag.Bool("ascii", false, "print an ASCII density rendering")
 	flag.Parse()
-	par.SetWorkers(*procs)
+	d.Check(d.Setup())
+	snap := d.Run.Snap
 
 	s := nbody.NewPlummer(*n, 1, 2001)
 	k0, p0 := 0.0, 0.0
@@ -50,52 +51,64 @@ func main() {
 		forcer = nbody.DirectForcer{}
 	case *ranks > 0:
 		costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateTree)
-		check(err)
+		d.Check(err)
 		cm := treecode.CostModel{
 			SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
 			SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
 		}
-		forcer = &parallelForcer{ranks: *ranks, cfg: treecode.ParallelConfig{
+		forcer = &parallelForcer{ranks: *ranks, run: d.Run, cfg: treecode.ParallelConfig{
 			Theta: *theta, Quadrupole: *quad, Eps: s.Eps, Cost: cm,
 		}}
 	default:
-		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad}
+		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad, Tracer: d.Run.Tracer}
 	}
 
-	check(s.Leapfrog(forcer, *dt, *steps))
-	fmt.Printf("%d particles, %d steps: %d interactions, %.3g flops (treecode convention)\n",
+	d.Check(s.Leapfrog(forcer, *dt, *steps))
+	d.Textf("%d particles, %d steps: %d interactions, %.3g flops (treecode convention)\n",
 		*n, *steps, s.Interactions, float64(s.Flops()))
-	if pf, ok := forcer.(*parallelForcer); ok {
-		fmt.Printf("simulated MetaBlade time: %.3f s over %d blades → %.2f Gflops sustained\n",
-			pf.simTime, *ranks, float64(s.Flops())/pf.simTime/1e9)
+	snap.SetGauge("nbodysim.particles", "", "particle count", float64(*n))
+	snap.SetGauge("nbodysim.steps", "", "leapfrog steps", float64(*steps))
+	switch f := forcer.(type) {
+	case *treecode.Forcer:
+		snap.Gather(f)
+	case *parallelForcer:
+		d.Textf("simulated MetaBlade time: %.3f s over %d blades → %.2f Gflops sustained\n",
+			f.simTime, *ranks, float64(s.Flops())/f.simTime/1e9)
+		snap.SetGauge("nbodysim.sim_time", "s", "accumulated simulated cluster time", f.simTime)
 	}
 	if k0 != 0 || p0 != 0 {
 		k1, p1 := s.Energy()
-		fmt.Printf("energy drift: |ΔE/E| = %.2e\n", abs((k1+p1-k0-p0)/(k0+p0)))
+		drift := abs((k1 + p1 - k0 - p0) / (k0 + p0))
+		d.Textf("energy drift: |ΔE/E| = %.2e\n", drift)
+		snap.SetGauge("nbodysim.energy_drift", "", "relative energy drift over the run", drift)
 	}
 
 	if *render != "" || *ascii {
 		img, err := nbody.RenderAuto(s, 72, 36)
-		check(err)
+		d.Check(err)
 		if *ascii {
-			fmt.Println(img.ASCII())
+			d.Textf("%s\n", img.ASCII())
 		}
 		if *render != "" {
 			f, err := os.Create(*render)
-			check(err)
-			check(img.WritePGM(f))
-			check(f.Close())
-			fmt.Println("wrote", *render)
+			d.Check(err)
+			d.Check(img.WritePGM(f))
+			d.Check(f.Close())
+			d.Textf("wrote %s\n", *render)
 		}
 	}
+	d.Check(d.Finish())
 }
 
 // parallelForcer adapts treecode.ParallelForces to nbody.Forcer,
-// accumulating simulated cluster time across steps.
+// accumulating simulated cluster time across steps and gathering each
+// step's world and result into the run's snapshot.
 type parallelForcer struct {
 	ranks   int
 	cfg     treecode.ParallelConfig
+	run     *core.Run
 	simTime float64
+	step    int
 }
 
 func (p *parallelForcer) Forces(s *nbody.System) error {
@@ -103,11 +116,16 @@ func (p *parallelForcer) Forces(s *nbody.System) error {
 	if err != nil {
 		return err
 	}
+	w.Tracer = p.run.Tracer
+	sp := p.run.Tracer.Begin(obs.PidHost, 0, "nbodysim", fmt.Sprintf("step%d", p.step))
 	res, err := treecode.ParallelForces(w, s, p.cfg)
 	if err != nil {
 		return err
 	}
+	sp.End(map[string]any{"sim_time": res.SimTime})
+	p.run.Snap.Gather(w, res)
 	p.simTime += res.SimTime
+	p.step++
 	return nil
 }
 
@@ -116,11 +134,4 @@ func abs(v float64) float64 {
 		return -v
 	}
 	return v
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nbodysim:", err)
-		os.Exit(1)
-	}
 }

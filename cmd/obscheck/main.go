@@ -1,0 +1,44 @@
+// Command obscheck validates an obs snapshot JSON artifact against a
+// schema document. CI uses it to pin the driver observability contract:
+//
+//	metablade -obs-json obs.json -particles 4000
+//	obscheck -schema schema/obs_snapshot_v1.json obs.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "schema/obs_snapshot_v1.json", "schema document to validate against")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-schema schema.json] snapshot.json...")
+		os.Exit(2)
+	}
+	schemaJSON, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		snap, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateSnapshotJSON(schemaJSON, snap)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

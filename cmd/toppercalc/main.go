@@ -6,18 +6,19 @@
 //
 //	toppercalc -nodes 24 -watts 85 -acquisition 17000 -gflops 2.8
 //	toppercalc -blade -nodes 240 -watts 15 -acquisition 260000 -gflops 36
+//	toppercalc -blade -format json
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/tco"
 )
 
 func main() {
+	d := core.NewDriver("toppercalc")
 	nodes := flag.Int("nodes", 24, "compute node count")
 	watts := flag.Float64("watts", 85, "per-node power draw under load (W)")
 	acq := flag.Float64("acquisition", 17000, "acquisition cost (hardware + software, $)")
@@ -29,6 +30,8 @@ func main() {
 	space := flag.Float64("space", 100, "floor-space lease rate ($/ft²/year)")
 	cpuHour := flag.Float64("cpuhour", 5, "downtime charge ($/CPU-hour)")
 	flag.Parse()
+	d.Check(d.Setup())
+	snap := d.Run.Snap
 
 	node := cluster.NodeSpec{
 		Name:                  "custom node",
@@ -45,7 +48,7 @@ func main() {
 		outages = tco.BladeOutages()
 	}
 	cl, err := cluster.New("custom", node, pack, *nodes, *ambient)
-	check(err)
+	d.Check(err)
 
 	rates := tco.Rates{
 		AdminPerHour:       100,
@@ -61,28 +64,26 @@ func main() {
 		Admin:          admin,
 		Outages:        outages,
 	}, rates)
-	check(err)
+	d.Check(err)
 
 	rel := cluster.DefaultReliability()
-	fmt.Printf("Cluster: %d nodes, %.1f kW compute + %.1f kW cooling, %.0f ft², %s\n",
+	d.Textf("Cluster: %d nodes, %.1f kW compute + %.1f kW cooling, %.0f ft², %s\n",
 		*nodes, cl.ComputePowerKW(), cl.CoolingPowerKW(), cl.FootprintSqFt(), pack.Name)
-	fmt.Printf("Reliability model: %.1f expected failures/year, availability %.4f\n\n",
+	d.Textf("Reliability model: %.1f expected failures/year, availability %.4f\n\n",
 		cl.ExpectedFailuresPerYear(rel), cl.Availability(rel))
-	fmt.Printf("%-18s $%10.0f\n", "Acquisition", b.Acquisition)
-	fmt.Printf("%-18s $%10.0f\n", "System admin", b.SysAdmin)
-	fmt.Printf("%-18s $%10.0f\n", "Power & cooling", b.PowerCooling)
-	fmt.Printf("%-18s $%10.0f\n", "Space", b.Space)
-	fmt.Printf("%-18s $%10.0f\n", "Downtime", b.Downtime)
-	fmt.Printf("%-18s $%10.0f\n\n", "TCO", b.TCO())
-	fmt.Printf("Price/performance (acquisition): $%.2f per Mflops\n", tco.PricePerf(b.Acquisition, *gflops))
-	fmt.Printf("ToPPeR (total price-performance): $%.2f per Mflops\n", tco.ToPPeR(b.TCO(), *gflops))
-	fmt.Printf("Performance/space: %.1f Mflops/ft²\n", tco.PerfPerSpace(*gflops, cl.FootprintSqFt()))
-	fmt.Printf("Performance/power: %.2f Gflops/kW\n", tco.PerfPerPower(*gflops, cl.TotalPowerKW()))
-}
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "toppercalc:", err)
-		os.Exit(1)
-	}
+	// The cost breakdown lives in the snapshot; the text rendering is the
+	// snapshot's own table over the topper.* prefix.
+	snap.SetGauge("topper.cost.acquisition", "$", "acquisition cost", b.Acquisition)
+	snap.SetGauge("topper.cost.sysadmin", "$", "system administration over the lifetime", b.SysAdmin)
+	snap.SetGauge("topper.cost.power_cooling", "$", "power and cooling over the lifetime", b.PowerCooling)
+	snap.SetGauge("topper.cost.space", "$", "floor space over the lifetime", b.Space)
+	snap.SetGauge("topper.cost.downtime", "$", "downtime charges over the lifetime", b.Downtime)
+	snap.SetGauge("topper.cost.tco", "$", "total cost of ownership", b.TCO())
+	snap.SetGauge("topper.priceperf", "$/Mflops", "acquisition price/performance", tco.PricePerf(b.Acquisition, *gflops))
+	snap.SetGauge("topper.topper", "$/Mflops", "total price-performance ratio", tco.ToPPeR(b.TCO(), *gflops))
+	snap.SetGauge("topper.perf_space", "Mflop/ft2", "performance per floor space", tco.PerfPerSpace(*gflops, cl.FootprintSqFt()))
+	snap.SetGauge("topper.perf_power", "Gflop/kW", "performance per kilowatt", tco.PerfPerPower(*gflops, cl.TotalPowerKW()))
+	d.Textf("%s\n", snap.Table("Cost of ownership and density ("+cl.Name+")", "topper."))
+	d.Check(d.Finish())
 }

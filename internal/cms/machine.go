@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vliw"
 )
 
@@ -96,6 +97,11 @@ type Machine struct {
 	P     Params
 	Trans *Translator
 	VLIW  *vliw.Machine
+	// Tracer, when non-nil, records the interpret→translate→cache
+	// pipeline as trace events in the CMS cycle domain (obs.PidCMS, one
+	// cycle per microsecond tick): a span per Run, a span per region
+	// translation, an instant per cache eviction.
+	Tracer *obs.Tracer
 
 	cache   map[int]*cacheEntry
 	lru     *list.List
@@ -148,6 +154,14 @@ func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, 
 	m.stats.Runs++
 	if len(m.cache) > 0 {
 		m.stats.WarmRuns++
+	}
+	if m.Tracer != nil {
+		defer func(start uint64, run uint64) {
+			m.Tracer.Complete(obs.PidCMS, 0, "cms", "run",
+				float64(start), float64(m.stats.TotalCycles()-start),
+				map[string]any{"run": run, "interp_instrs": m.stats.InterpInstrs,
+					"translations": m.stats.Translations})
+		}(m.stats.TotalCycles(), m.stats.Runs)
 	}
 	vst := vliw.NewState(st)
 	fromNative := false
@@ -204,6 +218,7 @@ func (m *Machine) lookup(pc int) *cacheEntry {
 }
 
 func (m *Machine) translate(p isa.Program, pc int) error {
+	start := m.stats.TotalCycles()
 	t, err := m.Trans.Translate(p, pc)
 	if err != nil {
 		return err
@@ -211,6 +226,11 @@ func (m *Machine) translate(p isa.Program, pc int) error {
 	m.stats.Translations++
 	m.stats.TranslatedInstrs += uint64(t.SrcInstrs)
 	m.stats.TranslateCycles += uint64(t.SrcInstrs * m.P.TranslateCostPerInstr)
+	if m.Tracer != nil {
+		m.Tracer.Complete(obs.PidCMS, 0, "cms", "translate",
+			float64(start), float64(t.SrcInstrs*m.P.TranslateCostPerInstr),
+			map[string]any{"pc": pc, "instrs": t.SrcInstrs, "atoms": t.Atoms()})
+	}
 	m.insert(pc, t)
 	return nil
 }
@@ -226,6 +246,11 @@ func (m *Machine) insert(pc int, t *vliw.Translation) {
 			delete(m.cache, victimPC)
 			m.lru.Remove(oldest)
 			m.stats.CacheEvictions++
+			if m.Tracer != nil {
+				m.Tracer.Instant(obs.PidCMS, 0, "cms", "evict",
+					float64(m.stats.TotalCycles()),
+					map[string]any{"pc": victimPC, "atoms": victim.tr.Atoms()})
+			}
 		}
 	}
 	ele := m.lru.PushFront(pc)

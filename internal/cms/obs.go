@@ -1,0 +1,77 @@
+package cms
+
+import "repro/internal/obs"
+
+// This file re-homes CMS telemetry onto the unified obs layer: Stats
+// (and therefore Machine) implement obs.Source, and the legacy
+// field-poking path — calling Machine.Stats() and reading struct
+// fields — remains as a thin view over the same numbers.
+
+// statsMetrics is the CMS stats vocabulary; counter values are per-run
+// deltas, so gathering several machines (or several runs) accumulates.
+var statsMetrics = []obs.Metric{
+	{Name: "cms.runs", Kind: obs.KindCounter, Help: "Run invocations"},
+	{Name: "cms.runs.warm", Kind: obs.KindCounter, Help: "runs entered with a non-empty translation cache"},
+	{Name: "cms.interp.instrs", Kind: obs.KindCounter, Help: "x86 instructions interpreted"},
+	{Name: "cms.interp.cycles", Kind: obs.KindCounter, Unit: "cycles", Help: "cycles spent interpreting"},
+	{Name: "cms.translate.regions", Kind: obs.KindCounter, Help: "regions translated"},
+	{Name: "cms.translate.instrs", Kind: obs.KindCounter, Help: "x86 instructions covered by translations"},
+	{Name: "cms.translate.cycles", Kind: obs.KindCounter, Unit: "cycles", Help: "cycles spent translating"},
+	{Name: "cms.native.executions", Kind: obs.KindCounter, Help: "translation executions"},
+	{Name: "cms.native.cycles", Kind: obs.KindCounter, Unit: "cycles", Help: "cycles inside translated code (VLIW accounting)"},
+	{Name: "cms.native.atoms", Kind: obs.KindCounter, Help: "VLIW atoms executed"},
+	{Name: "cms.native.molecules", Kind: obs.KindCounter, Help: "VLIW molecules issued"},
+	{Name: "cms.dispatch.cycles", Kind: obs.KindCounter, Unit: "cycles", Help: "translation-cache dispatch cycles"},
+	{Name: "cms.dispatch.chained", Kind: obs.KindCounter, Help: "chained dispatches"},
+	{Name: "cms.dispatch.cold", Kind: obs.KindCounter, Help: "cold dispatches through the CMS runtime"},
+	{Name: "cms.cache.evictions", Kind: obs.KindCounter, Help: "translation-cache evictions"},
+	{Name: "cms.cycles.total", Kind: obs.KindCounter, Unit: "cycles", Help: "total simulated cycles, all categories"},
+	{Name: "cms.cache.atoms", Kind: obs.KindGauge, Unit: "atoms", Help: "current translation-cache occupancy"},
+	{Name: "cms.packing_density", Kind: obs.KindGauge, Unit: "atoms/molecule", Help: "ILP the translator extracted"},
+}
+
+// Describe implements obs.Source.
+func (s Stats) Describe() []obs.Metric { return statsMetrics }
+
+// counterValues maps the counter metrics to this snapshot's values.
+func (s Stats) counterValues() map[string]uint64 {
+	return map[string]uint64{
+		"cms.runs":              s.Runs,
+		"cms.runs.warm":         s.WarmRuns,
+		"cms.interp.instrs":     s.InterpInstrs,
+		"cms.interp.cycles":     s.InterpCycles,
+		"cms.translate.regions": s.Translations,
+		"cms.translate.instrs":  s.TranslatedInstrs,
+		"cms.translate.cycles":  s.TranslateCycles,
+		"cms.native.executions": s.NativeExecutions,
+		"cms.native.cycles":     s.NativeCycles,
+		"cms.native.atoms":      s.NativeAtoms,
+		"cms.native.molecules":  s.NativeMolecules,
+		"cms.dispatch.cycles":   s.DispatchCycles,
+		"cms.dispatch.chained":  s.ChainedDispatches,
+		"cms.dispatch.cold":     s.ColdDispatches,
+		"cms.cache.evictions":   s.CacheEvictions,
+		"cms.cycles.total":      s.TotalCycles(),
+	}
+}
+
+// Collect implements obs.Source with per-run delta semantics: counters
+// accumulate into the snapshot; the occupancy and packing-density
+// gauges overwrite.
+func (s Stats) Collect(snap *obs.Snapshot) {
+	vals := s.counterValues()
+	for _, m := range statsMetrics {
+		if m.Kind == obs.KindCounter {
+			snap.AddCounter(m.Name, m.Unit, m.Help, vals[m.Name])
+		}
+	}
+	snap.SetGauge("cms.cache.atoms", "atoms", "current translation-cache occupancy", float64(s.CacheAtoms))
+	snap.SetGauge("cms.packing_density", "atoms/molecule", "ILP the translator extracted", s.PackingDensity())
+}
+
+// Describe implements obs.Source for the machine (a view over its
+// accumulated stats).
+func (m *Machine) Describe() []obs.Metric { return statsMetrics }
+
+// Collect implements obs.Source for the machine.
+func (m *Machine) Collect(snap *obs.Snapshot) { m.stats.Collect(snap) }

@@ -1,0 +1,62 @@
+package cms
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// TestStatsCollect checks the obs view over a real run: the gathered
+// counters must equal the Stats accessors, and cms.cycles.total must be
+// the cycle count Run returned.
+func TestStatsCollect(t *testing.T) {
+	m := newTestMachine(4)
+	tr := obs.NewTracer()
+	m.Tracer = tr
+	p := isa.MustAssemble(sumLoopSrc)
+	st := isa.NewState(0)
+	cycles, _, err := m.Run(p, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.NewSnapshot()
+	snap.Gather(m)
+	if got := snap.Counter("cms.cycles.total"); got != cycles {
+		t.Fatalf("cms.cycles.total %d != run cycles %d", got, cycles)
+	}
+	stats := m.Stats()
+	if got := snap.Counter("cms.translate.regions"); got != stats.Translations {
+		t.Fatalf("translate.regions %d != %d", got, stats.Translations)
+	}
+	if got := snap.Counter("cms.runs"); got != 1 {
+		t.Fatalf("cms.runs = %d", got)
+	}
+	// The hot loop translated, so the trace must carry translate spans
+	// and the run's own span in the CMS cycle domain.
+	if tr.Events() < 2 {
+		t.Fatalf("trace events = %d, want run + translate spans", tr.Events())
+	}
+	// Delta semantics: a second machine's run accumulates into the same
+	// snapshot.
+	m2 := newTestMachine(4)
+	st2 := isa.NewState(0)
+	cycles2, _, err := m2.Run(p, st2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Gather(m2)
+	if got := snap.Counter("cms.cycles.total"); got != cycles+cycles2 {
+		t.Fatalf("accumulated cycles %d != %d", got, cycles+cycles2)
+	}
+	// Describe must cover exactly the metrics Collect writes.
+	named := map[string]bool{}
+	for _, mt := range m.Describe() {
+		named[mt.Name] = true
+	}
+	for _, sm := range snap.Samples() {
+		if !named[sm.Name] {
+			t.Fatalf("collected metric %q not in Describe()", sm.Name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/nas"
 	"repro/internal/nbody"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tco"
 	"repro/internal/treecode"
 )
@@ -26,10 +27,17 @@ type Table1Row struct {
 
 // Table1 runs the microkernel (both reciprocal-square-root variants) on
 // the five evaluation processors: trace-driven superscalar models for the
-// hardware CPUs, the full CMS+VLIW simulation for the TM5600.
-func Table1() ([]Table1Row, *metrics.Table, error) {
+// hardware CPUs, the full CMS+VLIW simulation for the TM5600. The run's
+// snapshot collects the CMS pipeline counters of the Crusoe executions
+// and a per-processor rating gauge; the tracer (if any) sees the CMS
+// interpret→translate→cache spans plus a host span per processor.
+func (r *Run) Table1() ([]Table1Row, *metrics.Table, error) {
 	var rows []Table1Row
 	for _, p := range cpu.EvaluationCPUs() {
+		if c, ok := p.(*cpu.Crusoe); ok {
+			c.Tracer = r.Tracer
+		}
+		sp := r.Tracer.Begin(obs.PidHost, 0, "table1", p.Name())
 		row := Table1Row{Processor: p.Name()}
 		for _, variant := range []kernels.GravVariant{kernels.GravMath, kernels.GravKarp} {
 			g := kernels.DefaultGravMicro(variant)
@@ -41,12 +49,19 @@ func Table1() ([]Table1Row, *metrics.Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
+			if res.CMS != nil {
+				r.gather(res.CMS)
+			}
 			if variant == kernels.GravMath {
 				row.MathMflops = res.Mflops()
 			} else {
 				row.KarpMflops = res.Mflops()
 			}
 		}
+		sp.End(map[string]any{"math_mflops": row.MathMflops, "karp_mflops": row.KarpMflops})
+		name := obs.SanitizeName(p.Name())
+		r.Snap.SetGauge("table1."+name+".math_mflops", "Mflops", "gravitational microkernel, math sqrt", row.MathMflops)
+		r.Snap.SetGauge("table1."+name+".karp_mflops", "Mflops", "gravitational microkernel, Karp sqrt", row.KarpMflops)
 		rows = append(rows, row)
 	}
 	t := metrics.NewTable("Table 1: Mflops on the gravitational microkernel",
@@ -85,8 +100,10 @@ func DefaultTable2Config() Table2Config {
 // Table2 runs the tree N-body force computation on 1..24 simulated
 // blades: real parallel execution over the mpi substrate, compute time
 // from the TM5600's calibrated costs, communication from the 100 Mb/s
-// Fast Ethernet model.
-func Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
+// Fast Ethernet model. Each world's communication totals and each
+// sweep's interaction counts land in the run's snapshot; the tracer
+// records per-rank virtual-time phases (obs.PidSim) for every world.
+func (r *Run) Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 	if cfg.Particles <= 0 || len(cfg.CPUCounts) == 0 {
 		return nil, nil, fmt.Errorf("core: empty Table2 config")
 	}
@@ -101,27 +118,34 @@ func Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 	var rows []Table2Row
 	var t1 float64
 	for _, p := range cfg.CPUCounts {
+		sp := r.Tracer.Begin(obs.PidHost, 0, "table2", fmt.Sprintf("p%d", p))
 		s := nbody.NewPlummer(cfg.Particles, 1, 2001)
 		w, err := mpi.NewWorld(p, netsim.FastEthernet())
 		if err != nil {
 			return nil, nil, err
 		}
+		w.Tracer = r.Tracer
 		res, err := treecode.ParallelForces(w, s, treecode.ParallelConfig{
 			Theta: cfg.Theta, Eps: s.Eps, Cost: cm,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
+		sp.End(map[string]any{"cpus": p, "sim_time": res.SimTime})
 		if p == cfg.CPUCounts[0] && p == 1 {
 			t1 = res.SimTime
 		} else if t1 == 0 {
 			t1 = res.SimTime * float64(p) // fallback if sweep skips P=1
 		}
-		rows = append(rows, Table2Row{
+		row := Table2Row{
 			CPUs:    p,
 			TimeSec: res.SimTime,
 			Speedup: metrics.Speedup(t1, res.SimTime),
-		})
+		}
+		r.gather(w, res)
+		r.Snap.SetGauge(fmt.Sprintf("table2.p%02d.time", p), "s", "simulated N-body force time", row.TimeSec)
+		r.Snap.SetGauge(fmt.Sprintf("table2.p%02d.speedup", p), "", "speedup over one blade", row.Speedup)
+		rows = append(rows, row)
 	}
 	t := metrics.NewTable("Table 2: scalability of the N-body simulation on MetaBlade",
 		"# CPUs", "Time (sec)", "Speed-Up")
@@ -142,8 +166,10 @@ type Table3Data struct {
 }
 
 // Table3 runs the six NPB kernels at the given class and rates them on
-// the four Table 3 processors through calibrated op-mix models.
-func Table3(class nas.Class) (*Table3Data, *metrics.Table, error) {
+// the four Table 3 processors through calibrated op-mix models. Each
+// kernel×processor rating lands in the snapshot as a gauge; host spans
+// cover the kernel executions.
+func (r *Run) Table3(class nas.Class) (*Table3Data, *metrics.Table, error) {
 	procs := cpu.NASCPUs()
 	costs := make([]cpu.EffCosts, len(procs))
 	for i, p := range procs {
@@ -161,17 +187,23 @@ func Table3(class nas.Class) (*Table3Data, *metrics.Table, error) {
 		fmt.Sprintf("Table 3: single-processor performance (Mops) for class %s NPB 2.3", class),
 		"Code", "Athlon MP", "Pentium 3", "TM5600", "Power3")
 	for _, k := range nas.Table3Kernels() {
-		r, err := k.Run(class)
+		sp := r.Tracer.Begin(obs.PidHost, 0, "table3", k.Name())
+		kr, err := k.Run(class)
 		if err != nil {
 			return nil, nil, err
 		}
+		sp.End(map[string]any{"ops": kr.Ops, "verified": kr.Verified})
 		var row []float64
-		for i := range procs {
-			row = append(row, costs[i].Mops(r.Ops, &r.Mix))
+		kname := obs.SanitizeName(k.Name())
+		for i, p := range procs {
+			m := costs[i].Mops(kr.Ops, &kr.Mix)
+			row = append(row, m)
+			r.Snap.SetGauge("table3."+kname+"."+obs.SanitizeName(p.Name())+".mops", "Mops",
+				"NPB kernel rating, class "+string(class), m)
 		}
 		data.Kernels = append(data.Kernels, k.Name())
 		data.Mops = append(data.Mops, row)
-		data.Verified = append(data.Verified, r.Verified)
+		data.Verified = append(data.Verified, kr.Verified)
 		t.AddRowf("%.1f", k.Name(), row[0], row[1], row[2], row[3])
 	}
 	return data, t, nil
@@ -191,8 +223,9 @@ type Table4Row struct {
 // rating.
 const Table4Particles = 20000
 
-// Table4 rates every registry machine on the treecode.
-func Table4() ([]Table4Row, *metrics.Table, error) {
+// Table4 rates every registry machine on the treecode, recording one
+// rating gauge per machine.
+func (r *Run) Table4() ([]Table4Row, *metrics.Table, error) {
 	machines, err := Registry()
 	if err != nil {
 		return nil, nil, err
@@ -209,12 +242,16 @@ func Table4() ([]Table4Row, *metrics.Table, error) {
 			rateCache[m.CPU.Name()] = rate
 		}
 		perProc := rate * m.ParallelEff
-		rows = append(rows, Table4Row{
+		row := Table4Row{
 			Machine:      m.Name,
 			Procs:        m.Procs,
 			Gflop:        perProc * float64(m.Procs) / 1000,
 			MflopPerProc: perProc,
-		})
+		}
+		mname := obs.SanitizeName(m.Name)
+		r.Snap.SetGauge("table4."+mname+".gflop", "Gflop", "treecode rating", row.Gflop)
+		r.Snap.SetGauge("table4."+mname+".mflop_per_proc", "Mflops", "treecode rating per processor", row.MflopPerProc)
+		rows = append(rows, row)
 	}
 	t := metrics.NewTable("Table 4: historical treecode performance",
 		"Machine", "CPUs", "Gflop", "Mflop/proc")
@@ -233,8 +270,8 @@ type Table5Row struct {
 }
 
 // Table5 evaluates the paper's five 24-node clusters under the paper's
-// rates.
-func Table5() ([]Table5Row, *metrics.Table, error) {
+// rates, recording acquisition and TCO gauges per cluster.
+func (r *Run) Table5() ([]Table5Row, *metrics.Table, error) {
 	cfgs, err := tco.PaperTable5Configs()
 	if err != nil {
 		return nil, nil, err
@@ -251,6 +288,9 @@ func Table5() ([]Table5Row, *metrics.Table, error) {
 			return nil, nil, err
 		}
 		rows = append(rows, Table5Row{Name: cfg.Name, B: b})
+		cname := obs.SanitizeName(cfg.Name)
+		r.Snap.SetGauge("table5."+cname+".acquisition", "$", "cluster acquisition cost", b.Acquisition)
+		r.Snap.SetGauge("table5."+cname+".tco", "$", "four-year total cost of ownership", b.TCO())
 		cells["Acquisition"] = append(cells["Acquisition"], b.Acquisition)
 		cells["System Admin"] = append(cells["System Admin"], b.SysAdmin)
 		cells["Power & Cooling"] = append(cells["Power & Cooling"], b.PowerCooling)
@@ -279,14 +319,14 @@ type ToPPeRSummary struct {
 
 // ToPPeR computes the §4.1 comparison using the PIII cluster as the
 // comparably clocked traditional Beowulf and measured treecode rates.
-func ToPPeR() (*ToPPeRSummary, error) {
-	rows, _, err := Table5()
+func (r *Run) ToPPeR() (*ToPPeRSummary, error) {
+	rows, _, err := r.Table5()
 	if err != nil {
 		return nil, err
 	}
 	byName := map[string]tco.Breakdown{}
-	for _, r := range rows {
-		byName[r.Name] = r.B
+	for _, row := range rows {
+		byName[row.Name] = row.B
 	}
 	tradRate, err := TreecodeRate(cpu.PentiumIII500().AsProcessor(), Table4Particles)
 	if err != nil {
@@ -306,6 +346,10 @@ func ToPPeR() (*ToPPeRSummary, error) {
 	}
 	s.ToPPeRAdvantage = s.TradToPPeR / s.BladeToPPeR
 	s.PricePerfRatio = s.BladePricePerf / s.TradPricePerf
+	r.Snap.SetGauge("topper.trad", "$/Mflops", "traditional Beowulf $/Mflops over TCO", s.TradToPPeR)
+	r.Snap.SetGauge("topper.blade", "$/Mflops", "blade $/Mflops over TCO", s.BladeToPPeR)
+	r.Snap.SetGauge("topper.advantage", "", "traditional/blade ToPPeR ratio", s.ToPPeRAdvantage)
+	r.Snap.SetGauge("topper.priceperf_ratio", "", "blade/traditional price-performance ratio", s.PricePerfRatio)
 	return s, nil
 }
 
@@ -323,8 +367,8 @@ type SpacePowerRow struct {
 
 // SpacePower builds the Avalon / MetaBlade / Green Destiny comparison of
 // Tables 6 and 7 from measured treecode rates and the physical cluster
-// models.
-func SpacePower() ([]SpacePowerRow, *metrics.Table, *metrics.Table, error) {
+// models, recording density gauges per machine.
+func (r *Run) SpacePower() ([]SpacePowerRow, *metrics.Table, *metrics.Table, error) {
 	avalonC, err := cluster.New("Avalon", cluster.NodeAlpha, avalonPackaging(), 128, 24)
 	if err != nil {
 		return nil, nil, nil, err
@@ -365,6 +409,11 @@ func SpacePower() ([]SpacePowerRow, *metrics.Table, *metrics.Table, error) {
 		mk("MetaBlade", tm56Rate, 24, 0.78, mbC),
 		mk("Green Destiny", tm58Rate, 240, 0.78, gdC),
 	}
+	for _, row := range rows {
+		mname := obs.SanitizeName(row.Machine)
+		r.Snap.SetGauge("table6."+mname+".perf_space", "Mflop/ft2", "treecode performance per floor space", row.PerfSpace)
+		r.Snap.SetGauge("table7."+mname+".perf_power", "Gflop/kW", "treecode performance per kilowatt", row.PerfPower)
+	}
 	t6 := metrics.NewTable("Table 6: performance/space, traditional vs bladed Beowulfs",
 		"Machine", "Performance (Gflop)", "Area (ft^2)", "Perf/Space (Mflop/ft^2)")
 	t7 := metrics.NewTable("Table 7: performance/power, traditional vs bladed Beowulfs",
@@ -394,7 +443,9 @@ func DefaultFigure3Config() Figure3Config {
 
 // Figure3 runs a self-gravitating collapse with the treecode and renders
 // the projected density — the reproduction of the paper's Figure 3 image.
-func Figure3(cfg Figure3Config) (*nbody.DensityImage, *nbody.System, error) {
+// The forcer's cumulative interaction counters land in the snapshot; the
+// tracer (if any) sees the per-step build/forces host spans.
+func (r *Run) Figure3(cfg Figure3Config) (*nbody.DensityImage, *nbody.System, error) {
 	if cfg.Particles <= 0 || cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, nil, fmt.Errorf("core: bad Figure3 config")
 	}
@@ -405,7 +456,7 @@ func Figure3(cfg Figure3Config) (*nbody.DensityImage, *nbody.System, error) {
 		s.VY[i] *= 0.3
 		s.VZ[i] *= 0.3
 	}
-	f := &treecode.Forcer{Theta: 0.7}
+	f := &treecode.Forcer{Theta: 0.7, Tracer: r.Tracer}
 	if cfg.Steps > 0 {
 		if err := s.Leapfrog(f, 0.01, cfg.Steps); err != nil {
 			return nil, nil, err
@@ -415,5 +466,8 @@ func Figure3(cfg Figure3Config) (*nbody.DensityImage, *nbody.System, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	r.gather(f)
+	r.Snap.SetGauge("figure3.particles", "", "collapse simulation size", float64(cfg.Particles))
+	r.Snap.SetGauge("figure3.steps", "", "leapfrog steps", float64(cfg.Steps))
 	return img, s, nil
 }

@@ -2,7 +2,8 @@ package cpu
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Calibration is deterministic for a given processor model and miss
@@ -28,10 +29,18 @@ type calibEntry struct {
 	err   error
 }
 
+// The hit/miss counters live in an obs registry; CalibCacheCounters
+// remains as a thin view over it.
 var (
-	calibMemo              sync.Map // calibKey -> *calibEntry
-	calibHits, calibMisses atomic.Uint64
+	calibMemo   sync.Map // calibKey -> *calibEntry
+	calibReg    = obs.NewRegistry()
+	calibHits   = calibReg.Counter("cpu.calib.memo.hits", "", "CalibrateFor calls served from the process-wide memo")
+	calibMisses = calibReg.Counter("cpu.calib.memo.misses", "", "CalibrateFor calls that ran the full calibration")
 )
+
+// CalibMemoSource returns the obs source for the calibration memo's
+// process-wide hit/miss counters (live cumulative semantics).
+func CalibMemoSource() obs.Source { return calibReg }
 
 // CalibrateFor is the memoized form of CalibrateForUncached: the first
 // call for a (processor, miss rate) pair runs the full calibration
@@ -47,9 +56,9 @@ func CalibrateFor(p Processor, missRate float64) (EffCosts, error) {
 		e.costs, e.err = CalibrateForUncached(p, missRate)
 	})
 	if first {
-		calibMisses.Add(1)
+		calibMisses.Inc()
 	} else {
-		calibHits.Add(1)
+		calibHits.Inc()
 	}
 	return e.costs, e.err
 }
@@ -58,7 +67,7 @@ func CalibrateFor(p Processor, missRate float64) (EffCosts, error) {
 // (a call that waited on another goroutine's in-flight calibration
 // counts as a hit).
 func CalibCacheCounters() (hits, misses uint64) {
-	return calibHits.Load(), calibMisses.Load()
+	return calibHits.Value(), calibMisses.Value()
 }
 
 // ResetCalibCache drops every memoized calibration and zeroes the
@@ -68,6 +77,6 @@ func ResetCalibCache() {
 		calibMemo.Delete(k)
 		return true
 	})
-	calibHits.Store(0)
-	calibMisses.Store(0)
+	calibHits.Reset()
+	calibMisses.Reset()
 }

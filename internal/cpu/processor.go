@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cms"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vliw"
 )
 
@@ -46,6 +47,10 @@ type Crusoe struct {
 	// preserves the paper's "freshly loaded binary" semantics; warm runs
 	// are visible in WarmStats (cms.Stats.WarmRuns vs Runs).
 	WarmStart bool
+	// Tracer, when non-nil, is attached to every CMS machine RunKernel
+	// creates, recording the interpret→translate→cache pipeline in the
+	// CMS cycle domain (obs.PidCMS).
+	Tracer *obs.Tracer
 
 	warmMu sync.Mutex
 	warm   *cms.Machine
@@ -108,6 +113,7 @@ func (c *Crusoe) RunKernel(p isa.Program, st *isa.State) (RunResult, error) {
 		return c.runWarm(p, st)
 	}
 	m := cms.NewMachine(c.Params, c.Timing)
+	m.Tracer = c.Tracer
 	cycles, tr, err := m.Run(p, st, 0)
 	if err != nil {
 		return RunResult{}, err
@@ -116,6 +122,8 @@ func (c *Crusoe) RunKernel(p isa.Program, st *isa.State) (RunResult, error) {
 		Cycles: float64(cycles),
 		Trace:  tr,
 	}
+	cst := m.Stats()
+	res.CMS = &cst
 	res.Seconds = res.Cycles / (c.MHz * 1e6)
 	return res, nil
 }
@@ -128,6 +136,7 @@ func (c *Crusoe) runWarm(p isa.Program, st *isa.State) (RunResult, error) {
 	if c.warm == nil {
 		c.warm = cms.NewMachine(c.Params, c.Timing)
 	}
+	c.warm.Tracer = c.Tracer
 	before := c.warm.Stats().TotalCycles()
 	cycles, tr, err := c.warm.Run(p, st, 0)
 	if err != nil {
@@ -137,6 +146,8 @@ func (c *Crusoe) runWarm(p isa.Program, st *isa.State) (RunResult, error) {
 		Cycles: float64(cycles - before),
 		Trace:  tr,
 	}
+	cst := c.warm.Stats()
+	res.CMS = &cst
 	res.Seconds = res.Cycles / (c.MHz * 1e6)
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cms"
 	"repro/internal/isa"
 )
 
@@ -116,6 +117,12 @@ type RunResult struct {
 	Cycles  float64
 	Seconds float64
 	Trace   isa.Trace
+	// CMS carries the CMS statistics of the run when the processor was a
+	// Crusoe (nil for hardware superscalar models). Cold-start runs
+	// report the run's own stats; warm-start runs report the persistent
+	// machine's accumulated stats. cms.Stats implements obs.Source, so a
+	// driver can gather this directly into its snapshot.
+	CMS *cms.Stats
 }
 
 // Mflops returns the achieved floating-point rate.

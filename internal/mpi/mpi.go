@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // message is one in-flight point-to-point transfer.
@@ -38,6 +39,12 @@ type World struct {
 	fabric *netsim.Fabric // nil = zero-cost network
 	chans  []chan message // chans[src*size+dst]
 	comms  []*Comm
+	// Tracer, when non-nil, records every point-to-point send as a span
+	// in the simulated-cluster time domain (obs.PidSim, virtual seconds
+	// rendered as microsecond ticks; tid = sending rank). Collectives
+	// are built on sends, so their structure emerges in the trace. Set
+	// before Run.
+	Tracer *obs.Tracer
 }
 
 // ChannelDepth bounds in-flight messages per (src,dst) pair; deep enough
@@ -167,12 +174,18 @@ func (c *Comm) send(dst int, m message) {
 	if dst == c.rank {
 		panic("mpi: self-send not supported; use local data")
 	}
+	start := c.now
 	if f := c.world.fabric; f != nil {
 		m.arrival = c.now + f.PointToPoint(m.payloadBytes())
 		// The sender's CPU is busy for the software half of the overhead.
 		c.now += f.SoftwareOverhead / 2
 	} else {
 		m.arrival = c.now
+	}
+	if t := c.world.Tracer; t != nil {
+		t.Complete(obs.PidSim, c.rank, "mpi", "send",
+			start*1e6, (m.arrival-start)*1e6,
+			map[string]any{"dst": dst, "tag": m.tag, "bytes": m.payloadBytes()})
 	}
 	c.bytesSent += int64(m.payloadBytes())
 	c.msgsSent++
@@ -229,4 +242,28 @@ func (c *Comm) RecvBytes(src, tag int) []byte {
 func (c *Comm) Sendrecv(partner, tag int, data []float64) []float64 {
 	c.Send(partner, tag, data)
 	return c.Recv(partner, tag)
+}
+
+// worldMetrics is the World telemetry vocabulary. The byte/message
+// counters are per-world totals, so gathering the worlds of a CPU-count
+// sweep accumulates traffic across the sweep; the makespan gauge keeps
+// the maximum gathered value.
+var worldMetrics = []obs.Metric{
+	{Name: "mpi.bytes.total", Kind: obs.KindCounter, Unit: "bytes", Help: "payload bytes sent across all ranks"},
+	{Name: "mpi.messages.total", Kind: obs.KindCounter, Help: "messages sent across all ranks"},
+	{Name: "mpi.time.max", Kind: obs.KindGauge, Unit: "s", Help: "parallel makespan: max rank virtual clock"},
+	{Name: "mpi.ranks", Kind: obs.KindGauge, Help: "world size of the last gathered world"},
+}
+
+// Describe implements obs.Source.
+func (w *World) Describe() []obs.Metric { return worldMetrics }
+
+// Collect implements obs.Source: the deprecated-but-kept accessors
+// MaxTime/TotalBytes/TotalMessages remain thin views over the same
+// numbers. Call after Run.
+func (w *World) Collect(s *obs.Snapshot) {
+	s.AddCounter("mpi.bytes.total", "bytes", "payload bytes sent across all ranks", uint64(w.TotalBytes()))
+	s.AddCounter("mpi.messages.total", "", "messages sent across all ranks", uint64(w.TotalMessages()))
+	s.MaxGauge("mpi.time.max", "s", "parallel makespan: max rank virtual clock", w.MaxTime())
+	s.SetGauge("mpi.ranks", "", "world size of the last gathered world", float64(w.size))
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// SnapshotSchema is the checked-in contract a snapshot JSON artifact
+// must satisfy (schema/obs_snapshot_v1.json). CI runs a driver and
+// validates its -obs-json output against it, so accidentally renaming a
+// metric — the classic API-drift failure — breaks the build instead of
+// silently breaking downstream comparisons.
+type SnapshotSchema struct {
+	// Schema is the exact envelope version string required.
+	Schema string `json:"schema"`
+	// NamePattern is the regexp every metric name must match.
+	NamePattern string `json:"name_pattern"`
+	// Kinds enumerates the allowed sample kinds.
+	Kinds []string `json:"kinds"`
+	// RequiredMeta lists metadata keys that must be present.
+	RequiredMeta []string `json:"required_meta"`
+	// RequiredSamples lists metric names that must be present.
+	RequiredSamples []string `json:"required_samples"`
+}
+
+// snapshotEnvelope mirrors WriteJSON's output for validation.
+type snapshotEnvelope struct {
+	Schema  string            `json:"schema"`
+	Meta    map[string]string `json:"meta"`
+	Samples []struct {
+		Name  string       `json:"name"`
+		Kind  string       `json:"kind"`
+		Unit  string       `json:"unit"`
+		Value *json.Number `json:"value"`
+	} `json:"samples"`
+}
+
+// ValidateSnapshotJSON checks a snapshot JSON artifact against a schema
+// document, returning a descriptive error on the first violation.
+func ValidateSnapshotJSON(schemaJSON, snapshotJSON []byte) error {
+	var sc SnapshotSchema
+	if err := json.Unmarshal(schemaJSON, &sc); err != nil {
+		return fmt.Errorf("obs: bad schema document: %w", err)
+	}
+	if sc.Schema == "" {
+		return fmt.Errorf("obs: schema document missing \"schema\"")
+	}
+	namePat, err := regexp.Compile(sc.NamePattern)
+	if err != nil {
+		return fmt.Errorf("obs: bad name_pattern: %w", err)
+	}
+	kinds := map[string]bool{}
+	for _, k := range sc.Kinds {
+		kinds[k] = true
+	}
+
+	var env snapshotEnvelope
+	dec := json.NewDecoder(strings.NewReader(string(snapshotJSON)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("obs: snapshot is not a valid envelope: %w", err)
+	}
+	if env.Schema != sc.Schema {
+		return fmt.Errorf("obs: snapshot schema %q, want %q", env.Schema, sc.Schema)
+	}
+	for _, key := range sc.RequiredMeta {
+		if _, ok := env.Meta[key]; !ok {
+			return fmt.Errorf("obs: missing required meta key %q", key)
+		}
+	}
+	seen := map[string]bool{}
+	for i, sm := range env.Samples {
+		if sm.Name == "" {
+			return fmt.Errorf("obs: sample %d has no name", i)
+		}
+		if seen[sm.Name] {
+			return fmt.Errorf("obs: duplicate sample %q", sm.Name)
+		}
+		seen[sm.Name] = true
+		if sc.NamePattern != "" && !namePat.MatchString(sm.Name) {
+			return fmt.Errorf("obs: sample name %q does not match %q", sm.Name, sc.NamePattern)
+		}
+		if len(kinds) > 0 && !kinds[sm.Kind] {
+			return fmt.Errorf("obs: sample %q has unknown kind %q", sm.Name, sm.Kind)
+		}
+		if sm.Value == nil {
+			continue // non-finite floats serialize as null
+		}
+		if sm.Kind == KindCounter.String() {
+			// Counters are uint64; json.Number.Int64 tops out at MaxInt64.
+			if _, err := strconv.ParseUint(sm.Value.String(), 10, 64); err != nil {
+				return fmt.Errorf("obs: counter %q is not an integer: %v", sm.Name, *sm.Value)
+			}
+		}
+	}
+	var missing []string
+	for _, name := range sc.RequiredSamples {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("obs: missing required samples: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}

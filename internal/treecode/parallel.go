@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mpi"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 )
 
 // CostModel converts counted work into modelled seconds on a target
@@ -196,6 +197,17 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 	perRank := make([]Stats, w.Size())
 	imported := make([]int64, w.Size())
 
+	// span records a virtual-time phase span for a rank on the world's
+	// tracer (nil-safe): the simulated-cluster time domain, seconds
+	// rendered as microsecond ticks.
+	span := func(c *mpi.Comm, name string, startSec float64, args map[string]any) {
+		if w.Tracer == nil {
+			return
+		}
+		w.Tracer.Complete(obs.PidSim, c.Rank(), "treecode", name,
+			startSec*1e6, (c.Now()-startSec)*1e6, args)
+	}
+
 	err = w.Run(func(c *mpi.Comm) error {
 		mine := parts[c.Rank()]
 		local := make([]Source, len(mine))
@@ -218,15 +230,18 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 		// goroutine is a data race.)
 		var localTree *Tree
 		if len(local) > 0 {
+			t0 := c.Now()
 			lt, berr := Build(local, BuildOptions{Bucket: cfg.Bucket, Quadrupole: cfg.Quadrupole})
 			if berr != nil {
 				return berr
 			}
 			localTree = lt
 			c.AddCompute(cfg.Cost.SecondsPerBuildSource * float64(len(local)))
+			span(c, "local_build", t0, map[string]any{"sources": len(local)})
 		}
 
 		// Pairwise LET exchange.
+		tx0 := c.Now()
 		sources := append([]Source(nil), local...)
 		p := c.Size()
 		for step := 1; step < p; step++ {
@@ -248,16 +263,20 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 			sources = append(sources, in...)
 			imported[c.Rank()] += int64(len(in))
 		}
+		span(c, "let_exchange", tx0, map[string]any{"imported": imported[c.Rank()]})
 
 		if len(mine) == 0 {
 			return nil
 		}
 		// Force tree over local + imported sources.
+		tb0 := c.Now()
 		ft, err := Build(sources, BuildOptions{Bucket: cfg.Bucket, Quadrupole: cfg.Quadrupole})
 		if err != nil {
 			return err
 		}
 		c.AddCompute(cfg.Cost.SecondsPerBuildSource * float64(len(sources)))
+		span(c, "force_build", tb0, map[string]any{"sources": len(sources)})
+		tf0 := c.Now()
 		var st Stats
 		for _, pi := range mine {
 			ax, ay, az := ft.ForceAt(s.X[pi], s.Y[pi], s.Z[pi], pi, cfg.Theta, cfg.Eps, &st)
@@ -266,6 +285,7 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 			s.AZ[pi] = s.G * az
 		}
 		c.AddCompute(cfg.Cost.SecondsPerInteraction * float64(st.Interactions()))
+		span(c, "forces", tf0, map[string]any{"pp": st.PP, "pc": st.PC})
 		perRank[c.Rank()] = st
 		return nil
 	})

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -463,8 +464,14 @@ type Forcer struct {
 	// loop; 0 follows par.Workers(). Forces are bit-identical at every
 	// width (each particle's tree walk is independent).
 	Workers int
+	// Tracer, when non-nil, records wall-clock spans for the build and
+	// force phases of every call (obs.PidHost).
+	Tracer *obs.Tracer
 	// LastStats reports the most recent force computation's work.
 	LastStats Stats
+	// Total accumulates stats across every Forces call on this Forcer
+	// (a multi-step Leapfrog integration sums here).
+	Total Stats
 }
 
 // forceGrain is the per-chunk particle count of the parallel force loop.
@@ -478,30 +485,37 @@ func (f *Forcer) Forces(s *nbody.System) error {
 		theta = 0.7
 	}
 	srcs := SourcesFromSystem(s)
+	sp := f.Tracer.Begin(obs.PidHost, 0, "treecode", "build")
 	t, err := Build(srcs, BuildOptions{Bucket: f.Bucket, Quadrupole: f.Quadrupole, Workers: f.Workers})
 	if err != nil {
 		return err
 	}
+	sp.End(map[string]any{"sources": len(srcs), "nodes": len(t.Nodes)})
 	pool := par.New(f.Workers)
 	n := s.N()
-	// Per-chunk interaction counters, combined in chunk order (integer
-	// sums, but the ordered combine keeps the pattern uniform).
-	chunkStats := make([]Stats, par.NumChunks(n, forceGrain))
+	// Per-chunk sharded interaction counters: chunk c owns slot c, the
+	// merge folds slots in slot order, so the counts are race-free and
+	// bit-identical at any worker width (the obs determinism rule).
+	sp = f.Tracer.Begin(obs.PidHost, 0, "treecode", "forces")
+	nc := par.NumChunks(n, forceGrain)
+	pp := obs.NewShardedCounter(nc)
+	pc := obs.NewShardedCounter(nc)
 	pool.ForChunks(n, forceGrain, func(c, lo, hi int) {
-		st := &chunkStats[c]
+		var st Stats
 		for i := lo; i < hi; i++ {
-			ax, ay, az := t.ForceAt(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, st)
+			ax, ay, az := t.ForceAt(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &st)
 			s.AX[i] = s.G * ax
 			s.AY[i] = s.G * ay
 			s.AZ[i] = s.G * az
 		}
+		pp.Add(c, st.PP)
+		pc.Add(c, st.PC)
 	})
-	var st Stats
-	for _, cs := range chunkStats {
-		st.PP += cs.PP
-		st.PC += cs.PC
-	}
+	st := Stats{PP: pp.Value(), PC: pc.Value()}
+	sp.End(map[string]any{"pp": st.PP, "pc": st.PC})
 	f.LastStats = st
+	f.Total.PP += st.PP
+	f.Total.PC += st.PC
 	s.Interactions += st.Interactions()
 	return nil
 }
