@@ -1,0 +1,300 @@
+// Command benchreport runs the repository's host-performance benchmarks
+// in-process (via testing.Benchmark) and emits a machine-readable report:
+// host ns/op plus the simulated-machine metrics (cycles, Mflops) for the
+// gravity microkernel and a treecode force step.
+//
+//	benchreport -out BENCH_pr3.json            # write the report
+//	benchreport -guard                         # fail on in-run regressions
+//	benchreport -compare old.json              # fail on >10% ns/op slowdown
+//
+// The -guard checks are machine-independent where possible: simulated
+// cycle counts are deterministic, so "gears must not slow the simulated
+// machine down" is exact; host-side checks (the parallel path must not
+// run slower than serial) carry a 10% tolerance, benchstat-style.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+	"repro/internal/mpi"
+	"repro/internal/nbody"
+	"repro/internal/netsim"
+	"repro/internal/treecode"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_pr3.json envelope.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Results    []Entry `json:"results"`
+}
+
+// slowdownTolerance is the benchstat-style regression threshold: a
+// guarded pair fails when the measured side is more than 10% slower.
+const slowdownTolerance = 1.10
+
+func main() {
+	out := flag.String("out", "", "write the report as JSON to this `path`")
+	guard := flag.Bool("guard", false, "fail on in-run regressions (gears must not raise simulated cycles; parallel must not run >10% slower than serial)")
+	compare := flag.String("compare", "", "compare against a previous report at this `path`; fail on >10% host slowdown of hostparallel benchmarks")
+	flag.Parse()
+
+	rep := Report{
+		Schema:     "bench_pr3_v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	rep.Results = append(rep.Results, gravMicroEntries()...)
+	rep.Results = append(rep.Results, treecodeStepEntry())
+	rep.Results = append(rep.Results, hostParallelEntries()...)
+
+	for _, e := range rep.Results {
+		fmt.Printf("%-44s %14.0f ns/op  %d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+		for _, k := range []string{"sim_cycles", "sim_mflops", "sim_seconds"} {
+			if v, ok := e.Metrics[k]; ok {
+				fmt.Printf("  %s=%.6g", k, v)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+		check(f.Close())
+	}
+	if *guard {
+		check(guardReport(&rep))
+		fmt.Println("guard: all regression checks passed")
+	}
+	if *compare != "" {
+		check(compareReports(*compare, &rep))
+		fmt.Printf("compare: no hostparallel benchmark slowed down >%.0f%% vs %s\n",
+			(slowdownTolerance-1)*100, *compare)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+// gravMicroEntries benchmarks the Table 1 gravity microkernel on the
+// simulated TM5600, single-gear and tiered.
+func gravMicroEntries() []Entry {
+	var out []Entry
+	for _, variant := range []kernels.GravVariant{kernels.GravMath, kernels.GravKarp} {
+		for _, gears := range []bool{false, true} {
+			c := cpu.NewTM5600()
+			c.Gears = gears
+			g := kernels.DefaultGravMicro(variant)
+			var cycles, mflops float64
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					prog, st, err := g.Build()
+					check2(b, err)
+					res, err := c.RunKernel(prog, st)
+					check2(b, err)
+					cycles = res.Cycles
+					mflops = res.Mflops()
+				}
+			})
+			out = append(out, Entry{
+				Name:        fmt.Sprintf("gravmicro/%s/gears=%t", variant, gears),
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				Metrics: map[string]float64{
+					"sim_cycles": cycles,
+					"sim_mflops": mflops,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// treecodeStepEntry benchmarks one full treecode force step on the host
+// and attaches the simulated single-blade TM5600 rate for the same step.
+func treecodeStepEntry() Entry {
+	const n = 20000
+	sys := nbody.NewPlummer(n, 1, 2001)
+	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0)}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			check2(b, f.Forces(sys))
+		}
+	})
+	e := Entry{
+		Name:        fmt.Sprintf("treecode/step/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     map[string]float64{},
+	}
+	// Simulated side: the same step costed on one TM5600 blade.
+	costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateTree)
+	check(err)
+	cm := treecode.CostModel{
+		SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
+		SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
+	}
+	w, err := mpi.NewWorld(1, netsim.FastEthernet())
+	check(err)
+	res, err := treecode.ParallelForces(w, nbody.NewPlummer(n, 1, 2001), treecode.ParallelConfig{
+		Theta: 0.7, Eps: sys.Eps, Cost: cm,
+	})
+	check(err)
+	if res.SimTime > 0 {
+		e.Metrics["sim_seconds"] = res.SimTime
+		e.Metrics["sim_mflops"] = float64(res.Stats.Flops()) / res.SimTime / 1e6
+	}
+	return e
+}
+
+// hostParallelEntries benchmarks the internal/par execution layer —
+// tree build and treecode forces, serial versus the full worker pool —
+// mirroring BenchmarkHostParallel in bench_test.go.
+func hostParallelEntries() []Entry {
+	const n = 30000
+	sys := nbody.NewPlummer(n, 1, 2001)
+	srcs := treecode.SourcesFromSystem(sys)
+	widths := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		widths = append(widths, g)
+	}
+	var out []Entry
+	for _, wkr := range widths {
+		wkr := wkr
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := treecode.Build(srcs, treecode.BuildOptions{Workers: wkr})
+				check2(b, err)
+			}
+		})
+		out = append(out, Entry{
+			Name:        fmt.Sprintf("hostparallel/treebuild/workers=%d", wkr),
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fsys := nbody.NewPlummer(n, 1, 2001)
+		f := &treecode.Forcer{Theta: 0.7, Workers: wkr}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				check2(b, f.Forces(fsys))
+			}
+		})
+		out = append(out, Entry{
+			Name:        fmt.Sprintf("hostparallel/treeforces/workers=%d", wkr),
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+func check2(b *testing.B, err error) {
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func find(rep *Report, name string) *Entry {
+	for i := range rep.Results {
+		if rep.Results[i].Name == name {
+			return &rep.Results[i]
+		}
+	}
+	return nil
+}
+
+// guardReport applies the in-run regression checks.
+func guardReport(rep *Report) error {
+	// Deterministic: with gears on, the simulated machine must never get
+	// slower (exact — cycle counts don't depend on the host).
+	for _, variant := range []kernels.GravVariant{kernels.GravMath, kernels.GravKarp} {
+		off := find(rep, fmt.Sprintf("gravmicro/%s/gears=false", variant))
+		on := find(rep, fmt.Sprintf("gravmicro/%s/gears=true", variant))
+		if off == nil || on == nil {
+			return fmt.Errorf("guard: missing gravmicro entries for %s", variant)
+		}
+		if on.Metrics["sim_cycles"] >= off.Metrics["sim_cycles"] {
+			return fmt.Errorf("guard: gears raised simulated cycles on %s: %.0f → %.0f",
+				variant, off.Metrics["sim_cycles"], on.Metrics["sim_cycles"])
+		}
+	}
+	// Host-side, tolerance-based: the worker pool must not run slower
+	// than serial beyond noise.
+	g := rep.GOMAXPROCS
+	if g > 1 {
+		for _, kind := range []string{"treebuild", "treeforces"} {
+			serial := find(rep, fmt.Sprintf("hostparallel/%s/workers=1", kind))
+			wide := find(rep, fmt.Sprintf("hostparallel/%s/workers=%d", kind, g))
+			if serial == nil || wide == nil {
+				return fmt.Errorf("guard: missing hostparallel/%s entries", kind)
+			}
+			if wide.NsPerOp > serial.NsPerOp*slowdownTolerance {
+				return fmt.Errorf("guard: hostparallel/%s at %d workers is >%.0f%% slower than serial: %.0f vs %.0f ns/op",
+					kind, g, (slowdownTolerance-1)*100, wide.NsPerOp, serial.NsPerOp)
+			}
+		}
+	}
+	return nil
+}
+
+// compareReports is the benchstat-style step: every hostparallel
+// benchmark present in both reports must not have slowed down >10%.
+// Only meaningful when both reports come from the same machine.
+func compareReports(oldPath string, cur *Report) error {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	compared := 0
+	for i := range old.Results {
+		o := &old.Results[i]
+		if len(o.Name) < len("hostparallel/") || o.Name[:len("hostparallel/")] != "hostparallel/" {
+			continue
+		}
+		n := find(cur, o.Name)
+		if n == nil || o.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if n.NsPerOp > o.NsPerOp*slowdownTolerance {
+			return fmt.Errorf("compare: %s slowed down %.1f%%: %.0f → %.0f ns/op",
+				o.Name, 100*(n.NsPerOp/o.NsPerOp-1), o.NsPerOp, n.NsPerOp)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("compare: no hostparallel benchmarks in common with %s", oldPath)
+	}
+	return nil
+}

@@ -38,6 +38,25 @@ func runBoth(t *testing.T, src string, memWords int, hot int) (*isa.State, *Mach
 	if refTr.Flops != cmsTr.Flops {
 		t.Fatalf("flop counts diverged: ref %d, cms %d", refTr.Flops, cmsTr.Flops)
 	}
+	// Same program again through the tiered pipeline (quick translate →
+	// superblock reoptimize, chained); gears must never change results.
+	gp := DefaultParams().WithGears()
+	gp.HotThreshold = hot
+	gp.ReoptThreshold = 4 // promote aggressively so short tests reach gear 2
+	gm := NewMachine(gp, vliw.TM5600Timing())
+	gst := isa.NewState(memWords)
+	_, gearTr, err := gm.Run(p, gst, 0)
+	if err != nil {
+		t.Fatalf("geared cms run: %v", err)
+	}
+	if !ref.Equal(gst) {
+		t.Fatalf("geared CMS state diverged from reference.\nref:  R=%v F=%v PC=%d Z=%v L=%v\ncms:  R=%v F=%v PC=%d Z=%v L=%v",
+			ref.R, ref.F, ref.PC, ref.FlagZ, ref.FlagL,
+			gst.R, gst.F, gst.PC, gst.FlagZ, gst.FlagL)
+	}
+	if refTr.Flops != gearTr.Flops {
+		t.Fatalf("geared flop counts diverged: ref %d, cms %d", refTr.Flops, gearTr.Flops)
+	}
 	return st, m
 }
 

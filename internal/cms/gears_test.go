@@ -1,0 +1,246 @@
+package cms
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/vliw"
+)
+
+// newGearedMachine builds a machine with the tiered pipeline enabled and
+// a low promotion threshold so short test programs reach gear 2.
+func newGearedMachine(hot, reopt int) *Machine {
+	p := DefaultParams().WithGears()
+	p.HotThreshold = hot
+	p.ReoptThreshold = reopt
+	return NewMachine(p, vliw.TM5600Timing())
+}
+
+func TestWithGearsEnablesTiering(t *testing.T) {
+	base := DefaultParams()
+	if base.GearsEnabled() {
+		t.Fatal("default params must keep the single-gear pipeline")
+	}
+	g := base.WithGears()
+	if !g.GearsEnabled() {
+		t.Fatal("WithGears must enable tiering")
+	}
+	if g.QuickCostPerInstr >= base.TranslateCostPerInstr {
+		t.Fatalf("quick translate (%d cy/instr) must be cheaper than the full translator (%d cy/instr)",
+			g.QuickCostPerInstr, base.TranslateCostPerInstr)
+	}
+	if g.ReoptCostPerInstr <= g.QuickCostPerInstr {
+		t.Fatalf("reoptimization (%d cy/instr) should cost more than the quick gear (%d cy/instr)",
+			g.ReoptCostPerInstr, g.QuickCostPerInstr)
+	}
+}
+
+func TestGearPromotionCounters(t *testing.T) {
+	_, m := func() (*isa.State, *Machine) {
+		p := isa.MustAssemble(sumLoopSrc)
+		m := newGearedMachine(1, 4)
+		st := isa.NewState(0)
+		if _, _, err := m.Run(p, st, 0); err != nil {
+			t.Fatal(err)
+		}
+		return st, m
+	}()
+	s := m.Stats()
+	if s.QuickTranslations == 0 {
+		t.Fatalf("geared run produced no quick translations: %+v", s)
+	}
+	if s.Reopts == 0 {
+		t.Fatalf("hot loop never promoted to gear 2: %+v", s)
+	}
+	if s.ReoptCycles == 0 || s.ReoptInstrs == 0 {
+		t.Fatalf("reoptimization recorded no cost: %+v", s)
+	}
+	if s.SuperblockExecs == 0 {
+		t.Fatalf("superblock never executed after promotion: %+v", s)
+	}
+}
+
+func TestGearsOffNeverReoptimizes(t *testing.T) {
+	p := isa.MustAssemble(sumLoopSrc)
+	m := newTestMachine(1)
+	st := isa.NewState(0)
+	if _, _, err := m.Run(p, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.QuickTranslations != 0 || s.Reopts != 0 || s.SuperblockExecs != 0 {
+		t.Fatalf("single-gear run used the tiered pipeline: %+v", s)
+	}
+}
+
+func TestSuperblockFollowsBiasAndSideExits(t *testing.T) {
+	// The inner conditional is taken 7 times out of 8, so the superblock
+	// should speculate along the taken path and fall off it (a side exit)
+	// only on the biased-against iterations.
+	src := `
+		movi r1, 0
+		movi r3, 0
+		movi r4, 0
+	loop:
+		addi r1, r1, 1
+		addi r4, r4, 1
+		cmpi r4, 8
+		jnz  hot           ; taken 7/8 of the time
+		movi r4, 0
+	hot:
+		addi r3, r3, 1
+		cmpi r1, 4000
+		jl   loop
+		hlt
+	`
+	ref := isa.NewState(0)
+	prog := isa.MustAssemble(src)
+	if err := isa.Run(prog, ref, nil, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m := newGearedMachine(1, 8)
+	st := isa.NewState(0)
+	if _, _, err := m.Run(prog, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Equal(st) {
+		t.Fatalf("biased-branch program diverged: ref R=%v, cms R=%v", ref.R, st.R)
+	}
+	s := m.Stats()
+	if s.Reopts == 0 || s.SuperblockExecs == 0 {
+		t.Fatalf("hot biased loop never reached gear 2: %+v", s)
+	}
+	if s.SideExits == 0 {
+		t.Fatalf("expected some side exits on the 1-in-8 iterations: %+v", s)
+	}
+	if s.SideExits >= s.SuperblockExecs {
+		t.Fatalf("side exits (%d) should be the minority of superblock executions (%d)",
+			s.SideExits, s.SuperblockExecs)
+	}
+}
+
+func TestGearedStatsTotalCyclesConsistent(t *testing.T) {
+	p := isa.MustAssemble(sumLoopSrc)
+	m := newGearedMachine(2, 4)
+	st := isa.NewState(0)
+	cycles, _, err := m.Run(p, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if cycles != s.TotalCycles() {
+		t.Fatalf("Run returned %d cycles, stats sum to %d", cycles, s.TotalCycles())
+	}
+	sum := s.InterpCycles + s.TranslateCycles + s.ReoptCycles + s.NativeCycles + s.DispatchCycles
+	if cycles != sum {
+		t.Fatalf("cycle categories sum to %d, want %d", sum, cycles)
+	}
+	if s.ReoptCycles == 0 {
+		t.Fatalf("geared run should record reoptimization cycles: %+v", s)
+	}
+}
+
+// TestGearsSpeedUpGravityMicrokernel is the PR's acceptance check on the
+// paper's Table 1 microkernel: with gears on, simulated cycles drop while
+// the computed accelerations stay bit-identical.
+func TestGearsSpeedUpGravityMicrokernel(t *testing.T) {
+	for _, variant := range []kernels.GravVariant{kernels.GravMath, kernels.GravKarp} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			g := kernels.DefaultGravMicro(variant)
+			run := func(params Params) (uint64, [3]float64) {
+				prog, st, err := g.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := NewMachine(params, vliw.TM5600Timing())
+				cycles, _, err := m.Run(prog, st, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ax, ay, az := kernels.ReadAccel(st)
+				return cycles, [3]float64{ax, ay, az}
+			}
+			offCycles, offAccel := run(DefaultParams())
+			onCycles, onAccel := run(DefaultParams().WithGears())
+			if onAccel != offAccel {
+				t.Fatalf("gears changed results: off %v, on %v", offAccel, onAccel)
+			}
+			if onCycles >= offCycles {
+				t.Fatalf("gears did not reduce simulated cycles: off %d, on %d", offCycles, onCycles)
+			}
+			t.Logf("%s: %d → %d simulated cycles (%.1f%% saved)",
+				variant, offCycles, onCycles,
+				100*float64(offCycles-onCycles)/float64(offCycles))
+		})
+	}
+}
+
+func TestSuperblockDirectAPI(t *testing.T) {
+	// Drive Translator.Superblock directly with a synthetic profile that
+	// marks the loop back-edge strongly taken; the superblock must cover
+	// more than one basic block and end in a fallthrough main exit.
+	src := `
+	loop:
+		addi r1, r1, 1
+		cmpi r1, 100
+		jl   loop
+		hlt
+	`
+	p := isa.MustAssemble(src)
+	prof := func(pc int) (taken, seen uint64) { return 99, 100 }
+	tr := NewTranslator()
+	tl, err := tr.Superblock(p, 0, prof, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Gear != 2 {
+		t.Fatalf("Gear = %d, want 2", tl.Gear)
+	}
+	if tl.SrcInstrs <= 3 {
+		t.Fatalf("superblock covered %d instrs; the biased back-edge should unroll past one iteration", tl.SrcInstrs)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("superblock failed validation: %v", err)
+	}
+}
+
+func TestPackingDensityGuardsZeroMolecules(t *testing.T) {
+	// A machine that never executed natively (or a zero Stats value) must
+	// report density 0, not NaN — obs gauges and JSON output both choke
+	// on NaN.
+	var s Stats
+	if d := s.PackingDensity(); d != 0 {
+		t.Fatalf("PackingDensity on empty stats = %v, want 0", d)
+	}
+	m := newTestMachine(1_000_000) // never hot: interpretation only
+	p := isa.MustAssemble("movi r1, 7\nhlt")
+	st := isa.NewState(0)
+	if _, _, err := m.Run(p, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Stats().PackingDensity(); d != 0 {
+		t.Fatalf("PackingDensity with no native execution = %v, want 0", d)
+	}
+}
+
+func TestBiasedTakenThresholds(t *testing.T) {
+	cases := []struct {
+		taken, seen uint64
+		want        bool
+	}{
+		{0, 0, false}, // never seen
+		{3, 3, false}, // too few samples
+		{4, 4, true},  // unanimous at the sample floor
+		{3, 4, true},  // exactly 75%
+		{2, 4, false}, // below bias
+		{74, 100, false},
+		{75, 100, true},
+	}
+	for _, c := range cases {
+		if got := biasedTaken(c.taken, c.seen); got != c.want {
+			t.Errorf("biasedTaken(%d, %d) = %v, want %v", c.taken, c.seen, got, c.want)
+		}
+	}
+}

@@ -23,7 +23,7 @@ type Params struct {
 	// instruction, added to the native latency of the operation itself.
 	InterpOverhead int
 	// TranslateCostPerInstr is the one-time translation cost per x86
-	// instruction in a region.
+	// instruction in a region (the single-gear optimizing translator).
 	TranslateCostPerInstr int
 	// DispatchCycles is the cost of entering the translation cache from
 	// the CMS runtime (hash lookup, context restore).
@@ -34,9 +34,28 @@ type Params struct {
 	// CacheCapacityAtoms bounds the translation cache size, measured in
 	// atoms (a proxy for the cache's memory footprint). 0 = unlimited.
 	CacheCapacityAtoms int
+
+	// Tiered gears (DESIGN.md §10). ReoptThreshold = 0 disables the
+	// tiered pipeline: translation goes through the single optimizing
+	// gear exactly as before, bit-identical cycle accounting included.
+	//
+	// QuickCostPerInstr is the per-instruction cost of the gear-1 quick
+	// block translator (one atom per molecule, no scheduling).
+	QuickCostPerInstr int
+	// ReoptThreshold is the execution count at which a gear-1 translation
+	// is reoptimized into a gear-2 superblock.
+	ReoptThreshold int
+	// ReoptCostPerInstr is the per-instruction cost of gear-2 superblock
+	// reoptimization.
+	ReoptCostPerInstr int
+	// SuperblockMax bounds the x86 instructions one superblock covers.
+	SuperblockMax int
+	// UnrollMax bounds how many copies of the entry loop body a
+	// superblock may splice in line.
+	UnrollMax int
 }
 
-// DefaultParams returns the CMS 4.x-like defaults.
+// DefaultParams returns the CMS 4.x-like defaults (single-gear).
 func DefaultParams() Params {
 	return Params{
 		HotThreshold:          24,
@@ -46,6 +65,26 @@ func DefaultParams() Params {
 		ChainedDispatchCycles: 1,
 		CacheCapacityAtoms:    1 << 16,
 	}
+}
+
+// GearsEnabled reports whether the tiered interpret → quick-translate →
+// superblock pipeline is active.
+func (p Params) GearsEnabled() bool { return p.ReoptThreshold > 0 }
+
+// WithGears returns p with the tiered pipeline enabled: a lower hot
+// threshold feeding a cheap quick translator, then superblock
+// reoptimization once a region has proven itself over ReoptThreshold
+// executions. Reoptimization is cheaper per instruction than the
+// single-gear translator because it reuses the quick gear's decoded
+// region and profile rather than starting from cold bytes.
+func (p Params) WithGears() Params {
+	p.HotThreshold = 8
+	p.QuickCostPerInstr = 600
+	p.ReoptThreshold = 128
+	p.ReoptCostPerInstr = 1200
+	p.SuperblockMax = 256
+	p.UnrollMax = 2
+	return p
 }
 
 // Stats reports where cycles went during a run.
@@ -59,7 +98,7 @@ type Stats struct {
 
 	InterpInstrs      uint64 // x86 instructions interpreted
 	InterpCycles      uint64
-	Translations      uint64 // regions translated
+	Translations      uint64 // regions translated (any gear)
 	TranslatedInstrs  uint64 // x86 instructions covered by translations
 	TranslateCycles   uint64
 	NativeExecutions  uint64 // translation executions
@@ -71,15 +110,28 @@ type Stats struct {
 	ColdDispatches    uint64
 	CacheEvictions    uint64
 	CacheAtoms        int // current cache occupancy
+
+	// Tiered-gear accounting (zero unless Params.GearsEnabled).
+	QuickTranslations uint64 // gear-1 quick block translations
+	Reopts            uint64 // gear-2 superblock reoptimizations
+	ReoptInstrs       uint64 // x86 instructions covered by superblocks
+	ReoptCycles       uint64 // cycles spent reoptimizing
+	SuperblockExecs   uint64 // gear-2 translation executions
+	SideExits         uint64 // superblock exits off the profiled-hot path
+	// Chaining accounting.
+	ChainPatches uint64 // exit→successor links patched in
+	ChainHits    uint64 // native-to-native hops through a chain
+	ChainMisses  uint64 // native exits with no cached successor
+	Unchains     uint64 // links severed by eviction or reoptimization
 }
 
 // TotalCycles sums every cycle category.
 func (s Stats) TotalCycles() uint64 {
-	return s.InterpCycles + s.TranslateCycles + s.NativeCycles + s.DispatchCycles
+	return s.InterpCycles + s.TranslateCycles + s.ReoptCycles + s.NativeCycles + s.DispatchCycles
 }
 
 // PackingDensity returns atoms per molecule executed — the ILP the
-// translator extracted.
+// translator extracted. Zero before any native execution.
 func (s Stats) PackingDensity() float64 {
 	if s.NativeMolecules == 0 {
 		return 0
@@ -87,9 +139,34 @@ func (s Stats) PackingDensity() float64 {
 	return float64(s.NativeAtoms) / float64(s.NativeMolecules)
 }
 
+// chainLink is a patched translation exit: executions leaving this entry
+// at pc continue directly in to's translation.
+type chainLink struct {
+	pc int
+	to *cacheEntry
+}
+
 type cacheEntry struct {
-	tr  *vliw.Translation
-	ele *list.Element // position in LRU list; value is the entry PC
+	pc    int
+	tr    *vliw.Translation
+	ele   *list.Element // position in LRU list; value is the entry PC
+	execs int           // executions, drives gear promotion
+	// links are this entry's patched exits; preds are the entries holding
+	// a link to this one, so eviction can sever incoming links without a
+	// cache sweep. Translations have a handful of exits at most, so both
+	// stay short and are scanned linearly.
+	links []chainLink
+	preds []*cacheEntry
+}
+
+// chainTo returns the patched successor for an exit at pc, or nil.
+func (e *cacheEntry) chainTo(pc int) *cacheEntry {
+	for i := range e.links {
+		if e.links[i].pc == pc {
+			return e.links[i].to
+		}
+	}
+	return nil
 }
 
 // Machine is a full Crusoe model: CMS running over the VLIW engine.
@@ -100,13 +177,20 @@ type Machine struct {
 	// Tracer, when non-nil, records the interpret→translate→cache
 	// pipeline as trace events in the CMS cycle domain (obs.PidCMS, one
 	// cycle per microsecond tick): a span per Run, a span per region
-	// translation, an instant per cache eviction.
+	// translation or reoptimization, an instant per cache eviction.
 	Tracer *obs.Tracer
 
 	cache   map[int]*cacheEntry
 	lru     *list.List
 	profile map[int]int
+	// Per-branch outcome profile (taken/seen), collected while
+	// interpreting when gears are enabled; drives superblock formation.
+	brSeen  map[int]uint64
+	brTaken map[int]uint64
 	stats   Stats
+	// vst is the reused VLIW register state, re-armed per Run so the hot
+	// path allocates nothing.
+	vst vliw.State
 }
 
 // NewMachine builds a Crusoe with the given CMS parameters and VLIW
@@ -119,18 +203,22 @@ func NewMachine(p Params, timing vliw.Timing) *Machine {
 		cache:   map[int]*cacheEntry{},
 		lru:     list.New(),
 		profile: map[int]int{},
+		brSeen:  map[int]uint64{},
+		brTaken: map[int]uint64{},
 	}
 }
 
 // Stats returns a copy of the run statistics.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// Reset clears the translation cache, profile and statistics (a "CMS
+// Reset clears the translation cache, profiles and statistics (a "CMS
 // reboot"); translations do not survive across Reset.
 func (m *Machine) Reset() {
 	m.cache = map[int]*cacheEntry{}
 	m.lru = list.New()
 	m.profile = map[int]int{}
+	m.brSeen = map[int]uint64{}
+	m.brTaken = map[int]uint64{}
 	m.stats = Stats{}
 }
 
@@ -145,7 +233,8 @@ var ErrFuel = errors.New("cms: cycle budget exhausted")
 // code one instruction at a time while counting executions of region
 // heads; when a head crosses the hot threshold its region is translated
 // into molecules and cached; cached regions execute natively and chain to
-// each other.
+// each other — runNative follows patched exit links from translation to
+// translation without coming back here.
 func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, isa.Trace, error) {
 	var tr isa.Trace
 	if err := p.Validate(); err != nil {
@@ -163,7 +252,8 @@ func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, 
 					"translations": m.stats.Translations})
 		}(m.stats.TotalCycles(), m.stats.Runs)
 	}
-	vst := vliw.NewState(st)
+	m.vst = vliw.State{Arch: st}
+	vst := &m.vst
 	fromNative := false
 	for !st.Halted {
 		if fuelCycles > 0 && m.stats.TotalCycles() >= fuelCycles {
@@ -181,12 +271,11 @@ func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, 
 				m.stats.DispatchCycles += uint64(m.P.DispatchCycles)
 				m.stats.ColdDispatches++
 			}
-			res, err := m.VLIW.Execute(ent.tr, vst)
+			next, err := m.runNative(p, ent, vst, &tr, fuelCycles)
 			if err != nil {
 				return m.stats.TotalCycles(), tr, err
 			}
-			m.recordNative(&res, &tr)
-			st.PC = res.ExitPC
+			st.PC = next
 			fromNative = true
 			continue
 		}
@@ -209,6 +298,61 @@ func (m *Machine) Run(p isa.Program, st *isa.State, fuelCycles uint64) (uint64, 
 	return m.stats.TotalCycles(), tr, nil
 }
 
+// runNative executes ent and then follows chain links native-to-native
+// until the program halts, fuel runs out, or an exit has no cached
+// successor. It returns the x86 PC to continue at. Each hop charges
+// exactly the chained dispatch the old dispatch-loop path charged, and
+// touches the successor's LRU position, so cycle accounting and eviction
+// order are bit-identical to pre-chaining behaviour.
+func (m *Machine) runNative(p isa.Program, ent *cacheEntry, vst *vliw.State, tr *isa.Trace, fuelCycles uint64) (int, error) {
+	for {
+		if ent.tr.Gear == 1 && m.P.GearsEnabled() && ent.execs >= m.P.ReoptThreshold {
+			e, err := m.reoptimize(p, ent)
+			if err != nil {
+				return 0, err
+			}
+			ent = e
+		}
+		ent.execs++
+		res, err := m.VLIW.Execute(ent.tr, vst)
+		if err != nil {
+			return 0, err
+		}
+		m.recordNative(&res, tr)
+		if ent.tr.Gear == 2 {
+			m.stats.SuperblockExecs++
+			if res.Taken && !res.Halted && res.ExitPC != ent.tr.MainExit {
+				m.stats.SideExits++
+			}
+		}
+		if res.Halted {
+			return res.ExitPC, nil
+		}
+		exit := res.ExitPC
+		if exit < 0 || exit >= len(p) {
+			return exit, nil // Run reports the bounds error
+		}
+		if fuelCycles > 0 && m.stats.TotalCycles() >= fuelCycles {
+			return exit, nil // Run returns ErrFuel
+		}
+		succ := ent.chainTo(exit)
+		if succ == nil {
+			c := m.cache[exit]
+			if c == nil {
+				m.stats.ChainMisses++
+				return exit, nil
+			}
+			m.patch(ent, exit, c)
+			succ = c
+		}
+		m.stats.ChainHits++
+		m.stats.ChainedDispatches++
+		m.stats.DispatchCycles += uint64(m.P.ChainedDispatchCycles)
+		m.lru.MoveToFront(succ.ele)
+		ent = succ
+	}
+}
+
 func (m *Machine) lookup(pc int) *cacheEntry {
 	ent := m.cache[pc]
 	if ent != nil {
@@ -217,31 +361,113 @@ func (m *Machine) lookup(pc int) *cacheEntry {
 	return ent
 }
 
+// patch links from's exit at exitPC directly to to's translation.
+func (m *Machine) patch(from *cacheEntry, exitPC int, to *cacheEntry) {
+	from.links = append(from.links, chainLink{pc: exitPC, to: to})
+	to.preds = append(to.preds, from)
+	m.stats.ChainPatches++
+}
+
+// unchain severs every link into and out of victim, so an evicted or
+// replaced translation can never be reached from native code again.
+func (m *Machine) unchain(victim *cacheEntry) {
+	for _, pred := range victim.preds {
+		kept := pred.links[:0]
+		for _, l := range pred.links {
+			if l.to == victim {
+				m.stats.Unchains++
+				continue
+			}
+			kept = append(kept, l)
+		}
+		pred.links = kept
+	}
+	for _, l := range victim.links {
+		if l.to == victim {
+			continue // self-link: back-pointer already dropped above
+		}
+		kept := l.to.preds[:0]
+		for _, q := range l.to.preds {
+			if q != victim {
+				kept = append(kept, q)
+			}
+		}
+		l.to.preds = kept
+	}
+	victim.links = nil
+	victim.preds = nil
+}
+
+// branchProfile adapts the interpreter's branch counters to the
+// superblock former.
+func (m *Machine) branchProfile(pc int) (taken, seen uint64) {
+	return m.brTaken[pc], m.brSeen[pc]
+}
+
 func (m *Machine) translate(p isa.Program, pc int) error {
 	start := m.stats.TotalCycles()
-	t, err := m.Trans.Translate(p, pc)
+	var t *vliw.Translation
+	var err error
+	cost := m.P.TranslateCostPerInstr
+	name := "translate"
+	if m.P.GearsEnabled() {
+		t, err = m.Trans.TranslateQuick(p, pc)
+		cost = m.P.QuickCostPerInstr
+		name = "translate-quick"
+	} else {
+		t, err = m.Trans.Translate(p, pc)
+	}
 	if err != nil {
 		return err
 	}
 	m.stats.Translations++
+	if t.Gear == 1 {
+		m.stats.QuickTranslations++
+	}
 	m.stats.TranslatedInstrs += uint64(t.SrcInstrs)
-	m.stats.TranslateCycles += uint64(t.SrcInstrs * m.P.TranslateCostPerInstr)
+	m.stats.TranslateCycles += uint64(t.SrcInstrs * cost)
 	if m.Tracer != nil {
-		m.Tracer.Complete(obs.PidCMS, 0, "cms", "translate",
-			float64(start), float64(t.SrcInstrs*m.P.TranslateCostPerInstr),
+		m.Tracer.Complete(obs.PidCMS, 0, "cms", name,
+			float64(start), float64(t.SrcInstrs*cost),
 			map[string]any{"pc": pc, "instrs": t.SrcInstrs, "atoms": t.Atoms()})
 	}
 	m.insert(pc, t)
 	return nil
 }
 
-func (m *Machine) insert(pc int, t *vliw.Translation) {
+// reoptimize promotes a gear-1 entry to a gear-2 superblock built from
+// the branch profile, replacing it in the cache. The old translation is
+// unchained first so no stale link can reach it.
+func (m *Machine) reoptimize(p isa.Program, old *cacheEntry) (*cacheEntry, error) {
+	start := m.stats.TotalCycles()
+	t, err := m.Trans.Superblock(p, old.pc, m.branchProfile, m.P.SuperblockMax, m.P.UnrollMax)
+	if err != nil {
+		return nil, err
+	}
+	m.stats.Reopts++
+	m.stats.ReoptInstrs += uint64(t.SrcInstrs)
+	cost := uint64(t.SrcInstrs * m.P.ReoptCostPerInstr)
+	m.stats.ReoptCycles += cost
+	if m.Tracer != nil {
+		m.Tracer.Complete(obs.PidCMS, 0, "cms", "reoptimize",
+			float64(start), float64(cost),
+			map[string]any{"pc": old.pc, "instrs": t.SrcInstrs, "atoms": t.Atoms()})
+	}
+	m.unchain(old)
+	m.stats.CacheAtoms -= old.tr.Atoms()
+	delete(m.cache, old.pc)
+	m.lru.Remove(old.ele)
+	return m.insert(old.pc, t), nil
+}
+
+func (m *Machine) insert(pc int, t *vliw.Translation) *cacheEntry {
 	atoms := t.Atoms()
 	if m.P.CacheCapacityAtoms > 0 {
 		for m.stats.CacheAtoms+atoms > m.P.CacheCapacityAtoms && m.lru.Len() > 0 {
 			oldest := m.lru.Back()
 			victimPC := oldest.Value.(int)
 			victim := m.cache[victimPC]
+			m.unchain(victim)
 			m.stats.CacheAtoms -= victim.tr.Atoms()
 			delete(m.cache, victimPC)
 			m.lru.Remove(oldest)
@@ -254,8 +480,10 @@ func (m *Machine) insert(pc int, t *vliw.Translation) {
 		}
 	}
 	ele := m.lru.PushFront(pc)
-	m.cache[pc] = &cacheEntry{tr: t, ele: ele}
+	ent := &cacheEntry{pc: pc, tr: t, ele: ele}
+	m.cache[pc] = ent
 	m.stats.CacheAtoms += atoms
+	return ent
 }
 
 func (m *Machine) recordNative(res *vliw.ExecResult, tr *isa.Trace) {
@@ -275,16 +503,25 @@ func (m *Machine) recordNative(res *vliw.ExecResult, tr *isa.Trace) {
 
 // interpretRegion steps x86 instructions, charging interpreter cost per
 // instruction, until a control transfer executes (whose successor is the
-// next region head) or the program halts.
+// next region head) or the program halts. With gears enabled it also
+// records conditional-branch outcomes for the superblock former.
 func (m *Machine) interpretRegion(p isa.Program, st *isa.State, tr *isa.Trace) error {
+	gears := m.P.GearsEnabled()
 	for !st.Halted {
-		in := p[st.PC]
+		pc := st.PC
+		in := p[pc]
 		if err := isa.Step(p, st, tr); err != nil {
 			return err
 		}
 		m.stats.InterpInstrs++
 		m.stats.InterpCycles += uint64(m.P.InterpOverhead) + uint64(m.interpLatency(in.Op))
 		if isa.IsBranch(in.Op) {
+			if gears && in.Op != isa.Jmp {
+				m.brSeen[pc]++
+				if st.PC != pc+1 {
+					m.brTaken[pc]++
+				}
+			}
 			return nil
 		}
 	}

@@ -25,6 +25,16 @@ var statsMetrics = []obs.Metric{
 	{Name: "cms.dispatch.chained", Kind: obs.KindCounter, Help: "chained dispatches"},
 	{Name: "cms.dispatch.cold", Kind: obs.KindCounter, Help: "cold dispatches through the CMS runtime"},
 	{Name: "cms.cache.evictions", Kind: obs.KindCounter, Help: "translation-cache evictions"},
+	{Name: "cms.gear.quick", Kind: obs.KindCounter, Help: "gear-1 quick block translations"},
+	{Name: "cms.gear.reopts", Kind: obs.KindCounter, Help: "gear-2 superblock reoptimizations"},
+	{Name: "cms.gear.reopt_instrs", Kind: obs.KindCounter, Help: "x86 instructions covered by superblocks"},
+	{Name: "cms.gear.reopt_cycles", Kind: obs.KindCounter, Unit: "cycles", Help: "cycles spent reoptimizing"},
+	{Name: "cms.superblock.execs", Kind: obs.KindCounter, Help: "gear-2 translation executions"},
+	{Name: "cms.superblock.side_exits", Kind: obs.KindCounter, Help: "superblock exits off the profiled-hot path"},
+	{Name: "cms.chain.patches", Kind: obs.KindCounter, Help: "translation exit links patched in"},
+	{Name: "cms.chain.hits", Kind: obs.KindCounter, Help: "native-to-native hops through chain links"},
+	{Name: "cms.chain.misses", Kind: obs.KindCounter, Help: "native exits with no cached successor"},
+	{Name: "cms.chain.unchains", Kind: obs.KindCounter, Help: "chain links severed by eviction or reoptimization"},
 	{Name: "cms.cycles.total", Kind: obs.KindCounter, Unit: "cycles", Help: "total simulated cycles, all categories"},
 	{Name: "cms.cache.atoms", Kind: obs.KindGauge, Unit: "atoms", Help: "current translation-cache occupancy"},
 	{Name: "cms.packing_density", Kind: obs.KindGauge, Unit: "atoms/molecule", Help: "ILP the translator extracted"},
@@ -36,22 +46,32 @@ func (s Stats) Describe() []obs.Metric { return statsMetrics }
 // counterValues maps the counter metrics to this snapshot's values.
 func (s Stats) counterValues() map[string]uint64 {
 	return map[string]uint64{
-		"cms.runs":              s.Runs,
-		"cms.runs.warm":         s.WarmRuns,
-		"cms.interp.instrs":     s.InterpInstrs,
-		"cms.interp.cycles":     s.InterpCycles,
-		"cms.translate.regions": s.Translations,
-		"cms.translate.instrs":  s.TranslatedInstrs,
-		"cms.translate.cycles":  s.TranslateCycles,
-		"cms.native.executions": s.NativeExecutions,
-		"cms.native.cycles":     s.NativeCycles,
-		"cms.native.atoms":      s.NativeAtoms,
-		"cms.native.molecules":  s.NativeMolecules,
-		"cms.dispatch.cycles":   s.DispatchCycles,
-		"cms.dispatch.chained":  s.ChainedDispatches,
-		"cms.dispatch.cold":     s.ColdDispatches,
-		"cms.cache.evictions":   s.CacheEvictions,
-		"cms.cycles.total":      s.TotalCycles(),
+		"cms.runs":                  s.Runs,
+		"cms.runs.warm":             s.WarmRuns,
+		"cms.interp.instrs":         s.InterpInstrs,
+		"cms.interp.cycles":         s.InterpCycles,
+		"cms.translate.regions":     s.Translations,
+		"cms.translate.instrs":      s.TranslatedInstrs,
+		"cms.translate.cycles":      s.TranslateCycles,
+		"cms.native.executions":     s.NativeExecutions,
+		"cms.native.cycles":         s.NativeCycles,
+		"cms.native.atoms":          s.NativeAtoms,
+		"cms.native.molecules":      s.NativeMolecules,
+		"cms.dispatch.cycles":       s.DispatchCycles,
+		"cms.dispatch.chained":      s.ChainedDispatches,
+		"cms.dispatch.cold":         s.ColdDispatches,
+		"cms.cache.evictions":       s.CacheEvictions,
+		"cms.gear.quick":            s.QuickTranslations,
+		"cms.gear.reopts":           s.Reopts,
+		"cms.gear.reopt_instrs":     s.ReoptInstrs,
+		"cms.gear.reopt_cycles":     s.ReoptCycles,
+		"cms.superblock.execs":      s.SuperblockExecs,
+		"cms.superblock.side_exits": s.SideExits,
+		"cms.chain.patches":         s.ChainPatches,
+		"cms.chain.hits":            s.ChainHits,
+		"cms.chain.misses":          s.ChainMisses,
+		"cms.chain.unchains":        s.Unchains,
+		"cms.cycles.total":          s.TotalCycles(),
 	}
 }
 

@@ -1,0 +1,197 @@
+package cms
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vliw"
+)
+
+// BranchProfile reports interpreter-observed outcomes for the conditional
+// branch at pc: how often it was taken and how often it executed.
+type BranchProfile func(pc int) (taken, seen uint64)
+
+const (
+	// defaultSuperblockMax bounds the x86 instructions one superblock may
+	// cover when the caller passes no limit.
+	defaultSuperblockMax = 256
+	// biasMinSamples is the minimum number of observed executions before a
+	// branch may be classified as biased.
+	biasMinSamples = 4
+)
+
+// biasedTaken reports whether the profile says the branch is taken often
+// enough (≥75%, with at least biasMinSamples observations) to speculate
+// along its taken edge.
+func biasedTaken(taken, seen uint64) bool {
+	return seen >= biasMinSamples && taken*4 >= seen*3
+}
+
+// invertBranch returns the side-exit stub for a biased-taken conditional:
+// the inverse condition, exiting to the branch's fallthrough PC. The hot
+// (taken) path then continues in line inside the superblock.
+func invertBranch(op isa.Op, fallPC int) (vliw.Atom, error) {
+	var inv vliw.AtomOp
+	switch op {
+	case isa.Jz:
+		inv = vliw.ABrNZ
+	case isa.Jnz:
+		inv = vliw.ABrZ
+	case isa.Jl:
+		inv = vliw.ABrGE
+	case isa.Jle:
+		inv = vliw.ABrG
+	case isa.Jg:
+		inv = vliw.ABrLE
+	case isa.Jge:
+		inv = vliw.ABrL
+	default:
+		return vliw.Atom{}, fmt.Errorf("cms: cannot invert %s", op)
+	}
+	return vliw.Atom{Op: inv, Imm: int64(fallPC)}, nil
+}
+
+// Superblock builds the gear-2 translation for the region at entryPC: a
+// single-entry multiple-exit trace that follows the profiled-hot path.
+// Unconditional jumps are elided (the target block is spliced in line),
+// biased-taken conditionals are inverted into side-exit stubs so the hot
+// edge also continues in line, and the trace's own back-edges to entryPC
+// are unrolled up to unrollMax copies. The block is rescheduled with
+// speculative load hoisting enabled (the spec scheduler mode).
+//
+// The superblock ends — with FallPC/MainExit at the continuation — when it
+// reaches an instruction already in the trace, exhausts maxInstrs, closes
+// its final back-edge, or falls off a cold conditional path's budget. A
+// halt ending records MainExit = -1: every taken non-halt exit from such a
+// block is a side exit.
+func (t *Translator) Superblock(p isa.Program, entryPC int, prof BranchProfile, maxInstrs, unrollMax int) (*vliw.Translation, error) {
+	if entryPC < 0 || entryPC >= len(p) {
+		return nil, fmt.Errorf("cms: superblock entry %d out of range", entryPC)
+	}
+	if maxInstrs <= 0 {
+		maxInstrs = defaultSuperblockMax
+	}
+	if unrollMax < 1 {
+		unrollMax = 1
+	}
+	tr := &vliw.Translation{EntryPC: entryPC, Gear: 2, MainExit: -1}
+	sched := &t.sched
+	sched.reset(t.Wide, true)
+
+	// visited guards against splicing the same PC into one unroll copy
+	// twice (an inner cycle); it resets at each new copy so the copies are
+	// identical.
+	visited := make(map[int]bool, maxInstrs)
+	pc := entryPC
+	copies := 1
+	end := func(target int) {
+		// A superblock's main exit is a fallthrough — no branch atom, no
+		// taken-branch penalty; the chain loop continues at target.
+		tr.FallPC, tr.MainExit = target, target
+	}
+	// backEdge handles the hot edge returning to the entry: unroll another
+	// copy while the budget allows, else close the loop.
+	backEdge := func() bool {
+		if copies < unrollMax && tr.SrcInstrs < maxInstrs {
+			copies++
+			visited = make(map[int]bool, maxInstrs)
+			pc = entryPC
+			return true
+		}
+		end(entryPC)
+		return false
+	}
+
+	done := false
+	for {
+		if pc < 0 || pc >= len(p) {
+			// Ran off the program; exit there and let Run report it.
+			end(pc)
+			break
+		}
+		if tr.SrcInstrs >= maxInstrs || visited[pc] {
+			end(pc)
+			break
+		}
+		visited[pc] = true
+		in := p[pc]
+		switch {
+		case in.Op == isa.Hlt:
+			sched.add(vliw.Atom{Op: vliw.ABr, Imm: vliw.HaltCode(pc + 1)})
+			tr.SrcInstrs++
+			tr.FallPC = pc + 1 // unreachable, but keep it valid
+			done = true
+		case in.Op == isa.Jmp:
+			tr.SrcInstrs++
+			target := int(in.Imm)
+			if target == entryPC {
+				if backEdge() {
+					continue
+				}
+				done = true
+			} else {
+				// Elided: the jump target continues in line.
+				pc = target
+				continue
+			}
+		case in.Op != isa.Jmp && isa.IsBranch(in.Op):
+			target, fall := int(in.Imm), pc+1
+			taken, seen := uint64(0), uint64(0)
+			if prof != nil {
+				taken, seen = prof(pc)
+			}
+			tr.SrcInstrs++
+			if biasedTaken(taken, seen) {
+				stub, err := invertBranch(in.Op, fall)
+				if err != nil {
+					return nil, err
+				}
+				sched.add(stub)
+				if target == entryPC {
+					if backEdge() {
+						continue
+					}
+					done = true
+				} else {
+					pc = target
+					continue
+				}
+			} else {
+				atoms, _, err := lower(in, pc)
+				if err != nil {
+					return nil, fmt.Errorf("cms: pc %d: %w", pc, err)
+				}
+				for _, a := range atoms {
+					sched.add(a)
+				}
+				pc = fall
+				continue
+			}
+		default:
+			atoms, _, err := lower(in, pc)
+			if err != nil {
+				return nil, fmt.Errorf("cms: pc %d: %w", pc, err)
+			}
+			for _, a := range atoms {
+				sched.add(a)
+			}
+			tr.SrcInstrs++
+			pc++
+			continue
+		}
+		if done {
+			break
+		}
+	}
+
+	tr.Molecules = sched.finish()
+	if len(tr.Molecules) == 0 {
+		// Degenerate trace (e.g. a bare self-jump): keep the non-empty
+		// invariant; the nop molecule falls through to MainExit.
+		tr.Molecules = []vliw.Molecule{{Atoms: []vliw.Atom{{Op: vliw.ANop}}, Wide: t.Wide}}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -13,18 +13,18 @@ import (
 	"repro/internal/vliw"
 )
 
-// flagsReg is the pseudo-register index used for hazard tracking of the
-// condition flags during scheduling.
-const flagsReg = 200
-
-// Translator converts x86 regions into VLIW translations.
+// Translator converts x86 regions into VLIW translations. It owns a
+// reusable scheduler arena, so a Translator must not be shared between
+// goroutines (each cms.Machine has its own).
 type Translator struct {
 	// MaxRegion bounds the number of x86 instructions in one region
-	// (superblock along the fallthrough path).
+	// (block along the fallthrough path).
 	MaxRegion int
 	// Wide selects the 128-bit (4-atom) molecule format; narrow (64-bit,
 	// 2-atom) is kept for the molecule-width ablation.
 	Wide bool
+
+	sched scheduler // scratch, reset per translation
 }
 
 // NewTranslator returns a translator with the default region size and the
@@ -42,7 +42,8 @@ func (t *Translator) Translate(p isa.Program, entryPC int) (*vliw.Translation, e
 		return nil, fmt.Errorf("cms: translate entry %d out of range", entryPC)
 	}
 	tr := &vliw.Translation{EntryPC: entryPC}
-	sched := newScheduler(t.Wide)
+	sched := &t.sched
+	sched.reset(t.Wide, false)
 	pc := entryPC
 	for tr.SrcInstrs < t.maxRegion() && pc < len(p) {
 		in := p[pc]
@@ -71,6 +72,45 @@ func (t *Translator) Translate(p isa.Program, entryPC int) (*vliw.Translation, e
 		// Region was all hlt-less empties (cannot happen with a valid
 		// program, but keep the invariant that translations are non-empty).
 		tr.Molecules = []vliw.Molecule{{Atoms: []vliw.Atom{{Op: vliw.ANop}}, Wide: t.Wide}}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// TranslateQuick is the first translation gear: the same region shape as
+// Translate, but emitted one atom per molecule with no scheduling at all.
+// It is cheap to produce (low QuickCostPerInstr) and exists to get off the
+// interpreter fast; the superblock reoptimizer replaces it once the region
+// proves hot.
+func (t *Translator) TranslateQuick(p isa.Program, entryPC int) (*vliw.Translation, error) {
+	if entryPC < 0 || entryPC >= len(p) {
+		return nil, fmt.Errorf("cms: translate entry %d out of range", entryPC)
+	}
+	tr := &vliw.Translation{EntryPC: entryPC, Gear: 1}
+	var backing []vliw.Atom
+	pc := entryPC
+	for tr.SrcInstrs < t.maxRegion() && pc < len(p) {
+		in := p[pc]
+		atoms, exit, err := lower(in, pc)
+		if err != nil {
+			return nil, fmt.Errorf("cms: pc %d: %w", pc, err)
+		}
+		backing = append(backing, atoms...)
+		tr.SrcInstrs++
+		pc++
+		if exit {
+			break
+		}
+	}
+	tr.FallPC = pc
+	if len(backing) == 0 {
+		backing = append(backing, vliw.Atom{Op: vliw.ANop})
+	}
+	tr.Molecules = make([]vliw.Molecule, len(backing))
+	for i := range backing {
+		tr.Molecules[i] = vliw.Molecule{Atoms: backing[i : i+1 : i+1], Wide: t.Wide}
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -176,47 +216,98 @@ func lower(in isa.Instr, pc int) ([]vliw.Atom, bool, error) {
 	return []vliw.Atom{a}, false, nil
 }
 
+// noReg marks "no register" in atomDeps' write results.
+const noReg = -1
+
+// specPressureLimit caps speculative load hoisting: when this many
+// register values are already in flight at the candidate molecule, the
+// load stays at the conservative position instead of stretching live
+// ranges further (register-pressure-aware packing).
+const specPressureLimit = 12
+
+// schedStore records a scheduled store for speculative load
+// disambiguation: the molecule it landed in, its base register and that
+// register's SSA-like version at the time, and its displacement.
+type schedStore struct {
+	mol  int
+	base uint8
+	ver  uint32
+	imm  int64
+}
+
 // scheduler performs greedy in-order list scheduling of atoms into
 // molecules, honouring data hazards, memory ordering, unit slots, and
-// branch barriers.
+// branch barriers. All scratch state lives in reusable arenas (arrays and
+// capacity-retaining slices) so steady-state translation allocates only
+// the finished molecules.
 type scheduler struct {
 	wide bool
-	mols []vliw.Molecule
+	// spec enables the gear-2 reoptimizer's speculative load hoisting: a
+	// load may move above a store when the two provably address different
+	// words (same base register version, different displacement), subject
+	// to specPressureLimit.
+	spec bool
+
+	// Per-molecule scratch, parallel slices indexed by molecule.
+	n      int
+	atoms  [][4]vliw.Atom
+	counts []uint8
+	// Unit occupancy per molecule.
+	aluUsed, fpuUsed, lsuUsed, bruUsed []uint8
+	// Per-molecule write sets (bitsets) for WAW checks.
+	intWrites []uint64
+	fpWrites  []uint32
+	flagWrite []bool
+
 	// Hazard bookkeeping: the molecule index *after* which the value is
 	// safe to read (producer molecule + 1), per register.
-	intReady  map[uint8]int
-	fpReady   map[uint8]int
+	intReady  [vliw.NumIntRegs]int
+	fpReady   [vliw.NumFPRegs]int
 	flagReady int
-	// Per-molecule write sets for WAW checks.
-	intWrites []map[uint8]bool
-	fpWrites  []map[uint8]bool
-	flagWrite []bool
 	// WAR: last molecule index that reads a register; a write must not be
 	// placed before it (parallel reads make same-molecule WAR legal).
-	intLastRead map[uint8]int
-	fpLastRead  map[uint8]int
+	intLastRead [vliw.NumIntRegs]int
+	fpLastRead  [vliw.NumFPRegs]int
 	flagRead    int
 	// Memory ordering.
 	lastStoreMol int // index of molecule with the last store, -1 none
 	lastLoadMol  int
 	// Branch barrier: no atom may be placed at or before this index.
 	floor int
-	// Unit occupancy per molecule.
-	aluUsed, fpuUsed, lsuUsed, bruUsed []int
+
+	// Speculation state: version counters for int registers (bumped per
+	// write in program order) and the scheduled stores.
+	regVer [vliw.NumIntRegs]uint32
+	stores []schedStore
 }
 
-func newScheduler(wide bool) *scheduler {
-	return &scheduler{
-		wide:         wide,
-		intReady:     map[uint8]int{},
-		fpReady:      map[uint8]int{},
-		intLastRead:  map[uint8]int{},
-		fpLastRead:   map[uint8]int{},
-		lastStoreMol: -1,
-		lastLoadMol:  -1,
-		flagReady:    0,
-		flagRead:     -1,
+// reset prepares the scheduler for a new translation, retaining arena
+// capacity from previous uses.
+func (s *scheduler) reset(wide, spec bool) {
+	s.wide, s.spec = wide, spec
+	s.n = 0
+	s.atoms = s.atoms[:0]
+	s.counts = s.counts[:0]
+	s.aluUsed = s.aluUsed[:0]
+	s.fpuUsed = s.fpuUsed[:0]
+	s.lsuUsed = s.lsuUsed[:0]
+	s.bruUsed = s.bruUsed[:0]
+	s.intWrites = s.intWrites[:0]
+	s.fpWrites = s.fpWrites[:0]
+	s.flagWrite = s.flagWrite[:0]
+	for i := range s.intReady {
+		s.intReady[i] = 0
+		s.intLastRead[i] = 0
+		s.regVer[i] = 0
 	}
+	for i := range s.fpReady {
+		s.fpReady[i] = 0
+		s.fpLastRead[i] = 0
+	}
+	s.flagReady, s.flagRead = 0, -1
+	s.lastStoreMol, s.lastLoadMol = -1, -1
+	s.floor = 0
+	s.stores = s.stores[:0]
 }
 
 func (s *scheduler) slots() int {
@@ -227,57 +318,76 @@ func (s *scheduler) slots() int {
 }
 
 func (s *scheduler) ensure(idx int) {
-	for len(s.mols) <= idx {
-		s.mols = append(s.mols, vliw.Molecule{Wide: s.wide})
-		s.intWrites = append(s.intWrites, map[uint8]bool{})
-		s.fpWrites = append(s.fpWrites, map[uint8]bool{})
-		s.flagWrite = append(s.flagWrite, false)
+	for s.n <= idx {
+		s.atoms = append(s.atoms, [4]vliw.Atom{})
+		s.counts = append(s.counts, 0)
 		s.aluUsed = append(s.aluUsed, 0)
 		s.fpuUsed = append(s.fpuUsed, 0)
 		s.lsuUsed = append(s.lsuUsed, 0)
 		s.bruUsed = append(s.bruUsed, 0)
+		s.intWrites = append(s.intWrites, 0)
+		s.fpWrites = append(s.fpWrites, 0)
+		s.flagWrite = append(s.flagWrite, false)
+		s.n++
 	}
 }
 
+// inFlight counts register values produced but not yet ready at molecule
+// idx — the live values a speculative hoist would have to coexist with.
+func (s *scheduler) inFlight(idx int) int {
+	n := 0
+	for r := range s.intReady {
+		if s.intReady[r] > idx {
+			n++
+		}
+	}
+	for r := range s.fpReady {
+		if s.fpReady[r] > idx {
+			n++
+		}
+	}
+	return n
+}
+
 // atomDeps returns the registers the atom reads and writes, with flags
-// modelled as pseudo-register reads/writes.
-func atomDeps(a vliw.Atom) (readsI, readsF []uint8, writesI, writesF *uint8, readsFlags, writesFlags bool) {
+// modelled as pseudo-register reads/writes. Reads come back in fixed
+// arrays with a count; writes are noReg when absent.
+func atomDeps(a *vliw.Atom) (ri [2]uint8, nri int, rf [2]uint8, nrf int, wi, wf int, rFlags, wFlags bool) {
+	wi, wf = noReg, noReg
 	switch a.Op {
 	case vliw.ACmp, vliw.ACmpI, vliw.AFCmp:
-		writesFlags = true
+		wFlags = true
 	case vliw.ABrZ, vliw.ABrNZ, vliw.ABrL, vliw.ABrLE, vliw.ABrG, vliw.ABrGE:
-		readsFlags = true
+		rFlags = true
 	}
 	switch a.Op {
 	case vliw.AMov, vliw.AAddI, vliw.ASubI, vliw.AShl, vliw.AShr, vliw.ACmpI, vliw.ACvtIF, vliw.ALd, vliw.AFLd:
-		readsI = []uint8{a.Src1}
+		ri[0], nri = a.Src1, 1
 	case vliw.AAdd, vliw.ASub, vliw.AMul, vliw.AAnd, vliw.AOr, vliw.AXor, vliw.ACmp, vliw.ASt:
-		readsI = []uint8{a.Src1, a.Src2}
+		ri[0], ri[1], nri = a.Src1, a.Src2, 2
 	case vliw.AFSt:
-		readsI = []uint8{a.Src1}
-		readsF = []uint8{a.Src2}
+		ri[0], nri = a.Src1, 1
+		rf[0], nrf = a.Src2, 1
 	case vliw.AFMov, vliw.AFSqrt, vliw.AFNeg, vliw.AFAbs, vliw.ACvtFI:
-		readsF = []uint8{a.Src1}
+		rf[0], nrf = a.Src1, 1
 	case vliw.AFAdd, vliw.AFSub, vliw.AFMul, vliw.AFDiv, vliw.AFCmp:
-		readsF = []uint8{a.Src1, a.Src2}
+		rf[0], rf[1], nrf = a.Src1, a.Src2, 2
 	}
 	switch a.Op {
 	case vliw.AMovI, vliw.AMov, vliw.AAdd, vliw.AAddI, vliw.ASub, vliw.ASubI,
 		vliw.AMul, vliw.AAnd, vliw.AOr, vliw.AXor, vliw.AShl, vliw.AShr,
 		vliw.ALd, vliw.ACvtFI:
-		d := a.Dst
-		writesI = &d
+		wi = int(a.Dst)
 	case vliw.AFMovI, vliw.AFMov, vliw.AFAdd, vliw.AFSub, vliw.AFMul,
 		vliw.AFDiv, vliw.AFSqrt, vliw.AFNeg, vliw.AFAbs, vliw.ACvtIF, vliw.AFLd:
-		d := a.Dst
-		writesF = &d
+		wf = int(a.Dst)
 	}
 	return
 }
 
 // add places the atom in the earliest feasible molecule.
 func (s *scheduler) add(a vliw.Atom) {
-	readsI, readsF, writesI, writesF, rFlags, wFlags := atomDeps(a)
+	ri, nri, rf, nrf, wi, wf, rFlags, wFlags := atomDeps(&a)
 	unit := vliw.UnitOf(a.Op)
 	isLoad := a.Op == vliw.ALd || a.Op == vliw.AFLd
 	isStore := a.Op == vliw.ASt || a.Op == vliw.AFSt
@@ -285,14 +395,14 @@ func (s *scheduler) add(a vliw.Atom) {
 
 	// Earliest index from RAW hazards.
 	earliest := s.floor
-	for _, r := range readsI {
-		if s.intReady[r] > earliest {
-			earliest = s.intReady[r]
+	for k := 0; k < nri; k++ {
+		if v := s.intReady[ri[k]]; v > earliest {
+			earliest = v
 		}
 	}
-	for _, r := range readsF {
-		if s.fpReady[r] > earliest {
-			earliest = s.fpReady[r]
+	for k := 0; k < nrf; k++ {
+		if v := s.fpReady[rf[k]]; v > earliest {
+			earliest = v
 		}
 	}
 	if rFlags && s.flagReady > earliest {
@@ -300,18 +410,43 @@ func (s *scheduler) add(a vliw.Atom) {
 	}
 	// WAW ordering: a write to r must land strictly after the previous
 	// writer's molecule (intReady/fpReady hold producer index + 1).
-	if writesI != nil && s.intReady[*writesI] > earliest {
-		earliest = s.intReady[*writesI]
+	if wi >= 0 && s.intReady[wi] > earliest {
+		earliest = s.intReady[wi]
 	}
-	if writesF != nil && s.fpReady[*writesF] > earliest {
-		earliest = s.fpReady[*writesF]
+	if wf >= 0 && s.fpReady[wf] > earliest {
+		earliest = s.fpReady[wf]
 	}
 	if wFlags && s.flagReady > earliest {
 		earliest = s.flagReady
 	}
 	// Memory ordering: loads after stores; stores after loads and stores.
-	if isLoad && s.lastStoreMol+1 > earliest {
-		earliest = s.lastStoreMol + 1
+	if isLoad {
+		conservative := s.lastStoreMol + 1
+		if !s.spec {
+			if conservative > earliest {
+				earliest = conservative
+			}
+		} else {
+			// Speculative hoisting: the load may bypass a store only when
+			// the two provably address different words — same base
+			// register at the same version, different displacement.
+			lb := 0
+			for i := range s.stores {
+				st := &s.stores[i]
+				if st.base == a.Src1 && st.ver == s.regVer[a.Src1] && st.imm != a.Imm {
+					continue
+				}
+				if st.mol+1 > lb {
+					lb = st.mol + 1
+				}
+			}
+			if lb > earliest {
+				earliest = lb
+			}
+			if earliest < conservative && s.inFlight(earliest) >= specPressureLimit {
+				earliest = conservative
+			}
+		}
 	}
 	if isStore {
 		if s.lastStoreMol+1 > earliest {
@@ -323,23 +458,19 @@ func (s *scheduler) add(a vliw.Atom) {
 	}
 	// Branch barrier: a branch must come at or after every scheduled atom.
 	if isBr {
-		if n := len(s.mols); n > earliest {
-			// Any occupied molecule forces the branch to its index or later.
-			for i := n - 1; i >= earliest; i-- {
-				if len(s.mols[i].Atoms) > 0 {
-					if i > earliest {
-						earliest = i
-					}
-					break
+		for i := s.n - 1; i >= earliest; i-- {
+			if s.counts[i] > 0 {
+				if i > earliest {
+					earliest = i
 				}
+				break
 			}
 		}
 	}
 
 	for idx := earliest; ; idx++ {
 		s.ensure(idx)
-		m := &s.mols[idx]
-		if len(m.Atoms) >= s.slots() {
+		if int(s.counts[idx]) >= s.slots() {
 			continue
 		}
 		// Unit slot availability.
@@ -362,10 +493,10 @@ func (s *scheduler) add(a vliw.Atom) {
 			}
 		}
 		// WAW within molecule.
-		if writesI != nil && s.intWrites[idx][*writesI] {
+		if wi >= 0 && s.intWrites[idx]&(1<<uint(wi)) != 0 {
 			continue
 		}
-		if writesF != nil && s.fpWrites[idx][*writesF] {
+		if wf >= 0 && s.fpWrites[idx]&(1<<uint(wf)) != 0 {
 			continue
 		}
 		if wFlags && s.flagWrite[idx] {
@@ -382,21 +513,19 @@ func (s *scheduler) add(a vliw.Atom) {
 		}
 		// WAR: a write may not land before a molecule that reads the old
 		// value. Same-molecule WAR is fine (parallel reads).
-		if writesI != nil && s.intLastRead[*writesI] > idx {
+		if wi >= 0 && s.intLastRead[wi] > idx {
 			continue
 		}
-		if writesF != nil && s.fpLastRead[*writesF] > idx {
+		if wf >= 0 && s.fpLastRead[wf] > idx {
 			continue
 		}
 		if wFlags && s.flagRead > idx {
 			continue
 		}
-		// Also WAW across molecules: writing earlier than a later write
-		// cannot happen with in-order greedy placement (each write lands
-		// at the current frontier), so no extra check is needed.
 
 		// Place it.
-		m.Atoms = append(m.Atoms, a)
+		s.atoms[idx][s.counts[idx]] = a
+		s.counts[idx]++
 		switch unit {
 		case vliw.UnitALU:
 			s.aluUsed[idx]++
@@ -407,29 +536,35 @@ func (s *scheduler) add(a vliw.Atom) {
 		case vliw.UnitBRU:
 			s.bruUsed[idx]++
 		}
-		for _, r := range readsI {
-			if idx > s.intLastRead[r] {
-				s.intLastRead[r] = idx
+		for k := 0; k < nri; k++ {
+			if idx > s.intLastRead[ri[k]] {
+				s.intLastRead[ri[k]] = idx
 			}
 		}
-		for _, r := range readsF {
-			if idx > s.fpLastRead[r] {
-				s.fpLastRead[r] = idx
+		for k := 0; k < nrf; k++ {
+			if idx > s.fpLastRead[rf[k]] {
+				s.fpLastRead[rf[k]] = idx
 			}
 		}
 		if rFlags && idx > s.flagRead {
 			s.flagRead = idx
 		}
-		if writesI != nil {
-			s.intWrites[idx][*writesI] = true
-			if idx+1 > s.intReady[*writesI] {
-				s.intReady[*writesI] = idx + 1
-			}
+		if isStore && s.spec {
+			// Record before any version bump: the store's address uses the
+			// base register's current value.
+			s.stores = append(s.stores, schedStore{mol: idx, base: a.Src1, ver: s.regVer[a.Src1], imm: a.Imm})
 		}
-		if writesF != nil {
-			s.fpWrites[idx][*writesF] = true
-			if idx+1 > s.fpReady[*writesF] {
-				s.fpReady[*writesF] = idx + 1
+		if wi >= 0 {
+			s.intWrites[idx] |= 1 << uint(wi)
+			if idx+1 > s.intReady[wi] {
+				s.intReady[wi] = idx + 1
+			}
+			s.regVer[wi]++
+		}
+		if wf >= 0 {
+			s.fpWrites[idx] |= 1 << uint(wf)
+			if idx+1 > s.fpReady[wf] {
+				s.fpReady[wf] = idx + 1
 			}
 		}
 		if wFlags {
@@ -448,11 +583,10 @@ func (s *scheduler) add(a vliw.Atom) {
 			// Nothing may move at or before the branch's molecule, and the
 			// branch must be the last atom of its molecule.
 			s.floor = idx + 1
-			// Move branch to last slot if atoms follow it in encoding.
-			last := len(m.Atoms) - 1
-			for i := 0; i < last; i++ {
-				if vliw.IsBranch(m.Atoms[i].Op) {
-					m.Atoms[i], m.Atoms[last] = m.Atoms[last], m.Atoms[i]
+			last := s.counts[idx] - 1
+			for i := uint8(0); i < last; i++ {
+				if vliw.IsBranch(s.atoms[idx][i].Op) {
+					s.atoms[idx][i], s.atoms[idx][last] = s.atoms[idx][last], s.atoms[idx][i]
 				}
 			}
 		}
@@ -460,13 +594,30 @@ func (s *scheduler) add(a vliw.Atom) {
 	}
 }
 
-// finish returns the scheduled molecules, dropping trailing empties.
+// finish returns the scheduled molecules, dropping empties. The atoms of
+// every molecule share one backing array, so a finished translation is a
+// single contiguous allocation plus the molecule headers.
 func (s *scheduler) finish() []vliw.Molecule {
-	out := make([]vliw.Molecule, 0, len(s.mols))
-	for _, m := range s.mols {
-		if len(m.Atoms) > 0 {
-			out = append(out, m)
+	total, used := 0, 0
+	for i := 0; i < s.n; i++ {
+		if s.counts[i] > 0 {
+			used++
+			total += int(s.counts[i])
 		}
+	}
+	if used == 0 {
+		return nil
+	}
+	backing := make([]vliw.Atom, 0, total)
+	out := make([]vliw.Molecule, 0, used)
+	for i := 0; i < s.n; i++ {
+		c := int(s.counts[i])
+		if c == 0 {
+			continue
+		}
+		start := len(backing)
+		backing = append(backing, s.atoms[i][:c]...)
+		out = append(out, vliw.Molecule{Atoms: backing[start : start+c : start+c], Wide: s.wide})
 	}
 	return out
 }

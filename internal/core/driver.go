@@ -31,6 +31,7 @@ import (
 type Driver struct {
 	Name      string
 	Procs     int
+	Gears     bool
 	ObsJSON   string
 	ObsCSV    string
 	TracePath string
@@ -56,6 +57,7 @@ func NewDriver(name string) *Driver {
 // out of NewDriver so tests can drive a private FlagSet.
 func (d *Driver) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&d.Procs, "procs", 0, "host workers for parallel phases (0 = all cores); results are identical at any width")
+	fs.BoolVar(&d.Gears, "gears", false, "run simulated Crusoe CPUs with the tiered CMS pipeline (quick translate → superblock reoptimize, chained)")
 	fs.StringVar(&d.ObsJSON, "obs-json", "", "write the run's obs snapshot as JSON to this `path`")
 	fs.StringVar(&d.ObsCSV, "obs-csv", "", "write the run's obs snapshot as CSV to this `path`")
 	fs.StringVar(&d.TracePath, "trace", "", "write a Chrome trace_event JSON trace to this `path` (load in chrome://tracing or Perfetto)")
@@ -76,6 +78,9 @@ func (d *Driver) Setup() error {
 	}
 	if d.Procs > 0 {
 		par.SetWorkers(d.Procs)
+	}
+	if d.Gears {
+		cpu.SetGears(true)
 	}
 	d.Run = NewRun()
 	d.Run.Snap.SetMeta("driver", d.Name)

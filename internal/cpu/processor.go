@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cms"
 	"repro/internal/isa"
@@ -47,6 +48,11 @@ type Crusoe struct {
 	// preserves the paper's "freshly loaded binary" semantics; warm runs
 	// are visible in WarmStats (cms.Stats.WarmRuns vs Runs).
 	WarmStart bool
+	// Gears enables the tiered CMS pipeline (interpret → quick translate
+	// → superblock reoptimize, with translation chaining): RunKernel
+	// applies Params.WithGears. A geared model reports a distinct Name so
+	// the calibration memo never mixes geared and single-gear cost models.
+	Gears bool
 	// Tracer, when non-nil, is attached to every CMS machine RunKernel
 	// creates, recording the interpret→translate→cache pipeline in the
 	// CMS cycle domain (obs.PidCMS).
@@ -66,8 +72,20 @@ func (c *Crusoe) Clone() *Crusoe {
 		Params:    c.Params,
 		Timing:    c.Timing,
 		WarmStart: c.WarmStart,
+		Gears:     c.Gears,
 	}
 }
+
+// gearsDefault makes newly constructed Crusoe models start with the
+// tiered pipeline enabled; the drivers' -gears flag sets it.
+var gearsDefault atomic.Bool
+
+// SetGears sets the process-wide default for new Crusoe models (the
+// -gears driver flag).
+func SetGears(on bool) { gearsDefault.Store(on) }
+
+// GearsDefault reports the process-wide default.
+func GearsDefault() bool { return gearsDefault.Load() }
 
 // NewTM5600 returns the 633-MHz TM5600 with CMS 4.2.x-like parameters.
 func NewTM5600() *Crusoe {
@@ -76,6 +94,7 @@ func NewTM5600() *Crusoe {
 		MHz:       633,
 		Params:    cms.DefaultParams(),
 		Timing:    vliw.TM5600Timing(),
+		Gears:     GearsDefault(),
 	}
 }
 
@@ -99,11 +118,26 @@ func NewTM5800() *Crusoe {
 		MHz:       800,
 		Params:    p,
 		Timing:    t,
+		Gears:     GearsDefault(),
 	}
 }
 
-func (c *Crusoe) Name() string      { return c.ModelName }
+func (c *Crusoe) Name() string {
+	if c.Gears {
+		return c.ModelName + " (gears)"
+	}
+	return c.ModelName
+}
 func (c *Crusoe) ClockMHz() float64 { return c.MHz }
+
+// runParams returns the CMS parameters RunKernel uses: the model's, with
+// the tiered gears applied when enabled.
+func (c *Crusoe) runParams() cms.Params {
+	if c.Gears {
+		return c.Params.WithGears()
+	}
+	return c.Params
+}
 
 // RunKernel runs the program through a CMS instance: a fresh one per
 // call by default (cold translation cache), or the persistent warm
@@ -112,7 +146,7 @@ func (c *Crusoe) RunKernel(p isa.Program, st *isa.State) (RunResult, error) {
 	if c.WarmStart {
 		return c.runWarm(p, st)
 	}
-	m := cms.NewMachine(c.Params, c.Timing)
+	m := cms.NewMachine(c.runParams(), c.Timing)
 	m.Tracer = c.Tracer
 	cycles, tr, err := m.Run(p, st, 0)
 	if err != nil {
@@ -134,7 +168,7 @@ func (c *Crusoe) runWarm(p isa.Program, st *isa.State) (RunResult, error) {
 	c.warmMu.Lock()
 	defer c.warmMu.Unlock()
 	if c.warm == nil {
-		c.warm = cms.NewMachine(c.Params, c.Timing)
+		c.warm = cms.NewMachine(c.runParams(), c.Timing)
 	}
 	c.warm.Tracer = c.Tracer
 	before := c.warm.Stats().TotalCycles()
@@ -166,4 +200,4 @@ func (c *Crusoe) WarmStats() cms.Stats {
 
 // Machine returns a fresh CMS machine with this model's parameters, for
 // callers that need CMS statistics (packing density, cache behaviour).
-func (c *Crusoe) Machine() *cms.Machine { return cms.NewMachine(c.Params, c.Timing) }
+func (c *Crusoe) Machine() *cms.Machine { return cms.NewMachine(c.runParams(), c.Timing) }

@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Regression tests for derived-rate accessors: a run that recorded no
+// time (or an empty mix) must report a zero rate, never NaN or ±Inf —
+// downstream JSON encoding rejects NaN, and benchmark tables render it
+// as garbage.
+
+func TestRunResultMflopsGuardsZeroSeconds(t *testing.T) {
+	r := RunResult{Seconds: 0, Trace: isa.Trace{Flops: 1000}}
+	if got := r.Mflops(); got != 0 {
+		t.Fatalf("Mflops() with zero seconds = %v, want 0", got)
+	}
+	r.Seconds = -1 // defensive: a broken model must not yield negative rates
+	if got := r.Mflops(); got != 0 {
+		t.Fatalf("Mflops() with negative seconds = %v, want 0", got)
+	}
+}
+
+func TestEffCostsRatesGuardEmptyMix(t *testing.T) {
+	var empty isa.Trace
+	costs := EffCosts{ClockMHz: 500}
+	// No per-class costs set: the modelled time is zero.
+	for name, got := range map[string]float64{
+		"Mflops": costs.Mflops(&empty),
+		"Mops":   costs.Mops(1e6, &empty),
+	} {
+		if got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s on an empty mix = %v, want 0", name, got)
+		}
+	}
+	// A zero clock degenerates Seconds to ±Inf or NaN; rates must still
+	// come back finite.
+	costs = EffCosts{}
+	costs.Cost[isa.ClassFPAdd] = 1
+	mix := isa.Trace{Flops: 10}
+	mix.ByClass[isa.ClassFPAdd] = 10
+	for name, got := range map[string]float64{
+		"Mflops": costs.Mflops(&mix),
+		"Mops":   costs.Mops(1e6, &mix),
+	} {
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s with zero clock = %v, want finite", name, got)
+		}
+	}
+}

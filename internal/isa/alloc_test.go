@@ -1,0 +1,37 @@
+package isa
+
+import "testing"
+
+// TestInterpreterZeroAlloc pins the interpreter dispatch loop as
+// allocation-free: CMS leans on Step for every cold instruction, so a
+// heap allocation here would dominate interpreted phases.
+func TestInterpreterZeroAlloc(t *testing.T) {
+	p := MustAssemble(`
+		movi r1, 0
+		movi r2, 1
+	loop:
+		add  r1, r1, r2
+		addi r2, r2, 1
+		st   [r0], r1
+		ld   r3, [r0]
+		fmovi f0, 1.5
+		fadd  f1, f1, f0
+		cmpi r2, 64
+		jle  loop
+		hlt
+	`)
+	st := NewState(4)
+	var tr Trace
+	allocs := testing.AllocsPerRun(50, func() {
+		*st = State{Mem: st.Mem}
+		st.Mem[0] = 0
+		for !st.Halted {
+			if err := Step(p, st, &tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("interpreter allocated %.1f times per program run, want 0", allocs)
+	}
+}

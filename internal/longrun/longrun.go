@@ -105,7 +105,9 @@ func Sweep(base *cpu.Crusoe, states []State, build func() (isa.Program, *isa.Sta
 			Joules:  res.Seconds * st.WattsCPU,
 			Mflops:  res.Mflops(),
 		}
-		m.MflopsPerWatt = m.Mflops / st.WattsCPU
+		if st.WattsCPU > 0 {
+			m.MflopsPerWatt = m.Mflops / st.WattsCPU
+		}
 		m.EnergyDelay = m.Joules * m.Seconds
 		out = append(out, m)
 	}

@@ -1,0 +1,40 @@
+package vliw
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestExecuteZeroAlloc pins the VLIW execution core as allocation-free:
+// Execute commits molecule writes through a fixed-size buffer, so running
+// a translation — including loads, stores, FP ops and a taken branch —
+// must not touch the heap.
+func TestExecuteZeroAlloc(t *testing.T) {
+	arch := isa.NewState(8)
+	st := NewState(arch)
+	tr := &Translation{
+		EntryPC: 0,
+		FallPC:  9,
+		Molecules: []Molecule{
+			mol(Atom{Op: AMovI, Dst: 1, Imm: 3}, Atom{Op: AMovI, Dst: 2, Imm: 4}),
+			mol(Atom{Op: AAdd, Dst: 3, Src1: 1, Src2: 2}, Atom{Op: ASt, Src1: 0, Src2: 3}),
+			mol(Atom{Op: ALd, Dst: 4, Src1: 0}, Atom{Op: AFMovI, Dst: 1, F: 2.0}),
+			mol(Atom{Op: AFMul, Dst: 2, Src1: 1, Src2: 1}, Atom{Op: ACmpI, Src1: 4, Imm: 7}),
+			mol(Atom{Op: ABrZ, Imm: 5}),
+		},
+		SrcInstrs: 8,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(TM5600Timing())
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Execute(tr, st); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Execute allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -124,30 +124,42 @@ type pendingWrite struct {
 	vf  float64
 }
 
+// maxMoleculeAtoms is the widest molecule format's capacity; it bounds the
+// parallel-commit buffer so Execute needs no heap allocation.
+const maxMoleculeAtoms = 4
+
 // Execute runs the translation against st until a branch exits, the last
 // molecule falls through, or an Hlt-encoded exit (ExitPC < 0 means halt).
 // Branch atoms with Imm = HaltExit halt the machine.
+//
+// Execute is the simulator's hottest host loop and performs no heap
+// allocation: the commit buffer is a fixed array and all register-read
+// queries return by value.
 func (m *Machine) Execute(t *Translation, st *State) (ExecResult, error) {
 	var res ExecResult
 	var regReadyR [NumIntRegs]uint64
 	var regReadyF [NumFPRegs]uint64
 	var fpuBusyUntil uint64
 	var cycle uint64
+	var writes [maxMoleculeAtoms]pendingWrite
 
 	mi := 0
 	for mi < len(t.Molecules) {
 		mol := &t.Molecules[mi]
 		// Issue time: all sources ready, FP unit free if an FP atom issues.
 		issue := cycle
-		for _, a := range mol.Atoms {
-			for _, sr := range atomIntReads(a) {
-				if regReadyR[sr] > issue {
-					issue = regReadyR[sr]
+		for i := range mol.Atoms {
+			a := &mol.Atoms[i]
+			ir, ni := atomIntReads(a)
+			for k := 0; k < ni; k++ {
+				if regReadyR[ir[k]] > issue {
+					issue = regReadyR[ir[k]]
 				}
 			}
-			for _, sr := range atomFPReads(a) {
-				if regReadyF[sr] > issue {
-					issue = regReadyF[sr]
+			fr, nf := atomFPReads(a)
+			for k := 0; k < nf; k++ {
+				if regReadyF[fr[k]] > issue {
+					issue = regReadyF[fr[k]]
 				}
 			}
 			if UnitOf(a.Op) == UnitFPU && fpuBusyUntil > issue {
@@ -156,25 +168,26 @@ func (m *Machine) Execute(t *Translation, st *State) (ExecResult, error) {
 		}
 
 		// Parallel semantics: compute all results, then commit.
-		writes := make([]pendingWrite, 0, len(mol.Atoms))
+		nw := 0
 		var branchTo int
 		var branched, halted bool
-		for _, a := range mol.Atoms {
-			w, br, halt, err := execAtom(a, st)
+		for i := range mol.Atoms {
+			wrote, br, taken, halt, err := execAtom(&mol.Atoms[i], st, &writes[nw])
 			if err != nil {
 				return res, fmt.Errorf("vliw: molecule %d: %w", mi, err)
 			}
-			if w != nil {
-				writes = append(writes, *w)
+			if wrote {
+				nw++
 			}
-			if br != nil {
-				branched, branchTo = true, *br
+			if taken {
+				branched, branchTo = true, br
 			}
 			if halt {
 				halted = true
 			}
 		}
-		for _, w := range writes {
+		for i := 0; i < nw; i++ {
+			w := &writes[i]
 			if w.fp {
 				st.setF(w.reg, w.vf)
 			} else {
@@ -183,9 +196,10 @@ func (m *Machine) Execute(t *Translation, st *State) (ExecResult, error) {
 		}
 
 		// Scoreboard updates.
-		for _, a := range mol.Atoms {
+		for i := range mol.Atoms {
+			a := &mol.Atoms[i]
 			lat := m.latency(a.Op)
-			if wr, fp, ok := atomWrites(a); ok {
+			if wr, fp, ok := atomWrites(*a); ok {
 				if fp {
 					regReadyF[wr] = issue + uint64(lat)
 				} else {
@@ -202,9 +216,10 @@ func (m *Machine) Execute(t *Translation, st *State) (ExecResult, error) {
 		cycle = issue + 1
 		res.Molecules++
 		res.Atoms += uint64(len(mol.Atoms))
-		for _, a := range mol.Atoms {
-			res.ByClass[ClassOfAtom(a.Op)]++
-			if AtomIsFlop(a.Op) {
+		for i := range mol.Atoms {
+			op := mol.Atoms[i].Op
+			res.ByClass[ClassOfAtom(op)]++
+			if AtomIsFlop(op) {
 				res.Flops++
 			}
 		}
@@ -255,128 +270,140 @@ func (m *Machine) latency(op AtomOp) int {
 	return 1
 }
 
-func atomIntReads(a Atom) []uint8 {
+// atomIntReads returns the integer registers the atom reads, by value so
+// the hot loop allocates nothing.
+func atomIntReads(a *Atom) (regs [2]uint8, n int) {
 	switch a.Op {
 	case AMov, AAddI, ASubI, AShl, AShr, ACmpI, ACvtIF:
-		return []uint8{a.Src1}
+		regs[0] = a.Src1
+		return regs, 1
 	case AAdd, ASub, AMul, AAnd, AOr, AXor, ACmp:
-		return []uint8{a.Src1, a.Src2}
+		regs[0], regs[1] = a.Src1, a.Src2
+		return regs, 2
 	case ALd, AFLd:
-		return []uint8{a.Src1}
+		regs[0] = a.Src1
+		return regs, 1
 	case ASt:
-		return []uint8{a.Src1, a.Src2}
+		regs[0], regs[1] = a.Src1, a.Src2
+		return regs, 2
 	case AFSt:
-		return []uint8{a.Src1}
+		regs[0] = a.Src1
+		return regs, 1
 	}
-	return nil
+	return regs, 0
 }
 
-func atomFPReads(a Atom) []uint8 {
+// atomFPReads returns the FP registers the atom reads, by value.
+func atomFPReads(a *Atom) (regs [2]uint8, n int) {
 	switch a.Op {
 	case AFMov, AFSqrt, AFNeg, AFAbs, ACvtFI:
-		return []uint8{a.Src1}
+		regs[0] = a.Src1
+		return regs, 1
 	case AFAdd, AFSub, AFMul, AFDiv, AFCmp:
-		return []uint8{a.Src1, a.Src2}
+		regs[0], regs[1] = a.Src1, a.Src2
+		return regs, 2
 	case AFSt:
-		return []uint8{a.Src2}
+		regs[0] = a.Src2
+		return regs, 1
 	}
-	return nil
+	return regs, 0
 }
 
-// execAtom computes the atom's effect. It returns the pending register
-// write (nil if none), a branch-exit PC (nil if not taken), and a halt
-// flag.
-func execAtom(a Atom, st *State) (*pendingWrite, *int, bool, error) {
+// execAtom computes the atom's effect. A register write, if any, goes into
+// *w (wrote reports whether it did); taken branches return the exit PC and
+// a halt flag. Results are returned by value — no escaping pointers — so
+// the per-molecule execution loop is allocation-free.
+func execAtom(a *Atom, st *State, w *pendingWrite) (wrote bool, branchTo int, taken, halt bool, err error) {
 	arch := st.Arch
-	iw := func(reg uint8, v int64) *pendingWrite { return &pendingWrite{reg: reg, vi: v} }
-	fw := func(reg uint8, v float64) *pendingWrite { return &pendingWrite{fp: true, reg: reg, vf: v} }
+	iw := func(reg uint8, v int64) {
+		w.fp, w.reg, w.vi = false, reg, v
+		wrote = true
+	}
+	fw := func(reg uint8, v float64) {
+		w.fp, w.reg, w.vf = true, reg, v
+		wrote = true
+	}
 	switch a.Op {
 	case ANop:
-		return nil, nil, false, nil
 	case AMovI:
-		return iw(a.Dst, a.Imm), nil, false, nil
+		iw(a.Dst, a.Imm)
 	case AMov:
-		return iw(a.Dst, st.getR(a.Src1)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1))
 	case AAdd:
-		return iw(a.Dst, st.getR(a.Src1)+st.getR(a.Src2)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)+st.getR(a.Src2))
 	case AAddI:
-		return iw(a.Dst, st.getR(a.Src1)+a.Imm), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)+a.Imm)
 	case ASub:
-		return iw(a.Dst, st.getR(a.Src1)-st.getR(a.Src2)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)-st.getR(a.Src2))
 	case ASubI:
-		return iw(a.Dst, st.getR(a.Src1)-a.Imm), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)-a.Imm)
 	case AMul:
-		return iw(a.Dst, st.getR(a.Src1)*st.getR(a.Src2)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)*st.getR(a.Src2))
 	case AAnd:
-		return iw(a.Dst, st.getR(a.Src1)&st.getR(a.Src2)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)&st.getR(a.Src2))
 	case AOr:
-		return iw(a.Dst, st.getR(a.Src1)|st.getR(a.Src2)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)|st.getR(a.Src2))
 	case AXor:
-		return iw(a.Dst, st.getR(a.Src1)^st.getR(a.Src2)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)^st.getR(a.Src2))
 	case AShl:
-		return iw(a.Dst, st.getR(a.Src1)<<uint(a.Imm&63)), nil, false, nil
+		iw(a.Dst, st.getR(a.Src1)<<uint(a.Imm&63))
 	case AShr:
-		return iw(a.Dst, int64(uint64(st.getR(a.Src1))>>uint(a.Imm&63))), nil, false, nil
+		iw(a.Dst, int64(uint64(st.getR(a.Src1))>>uint(a.Imm&63)))
 	case ACmp:
 		x, y := st.getR(a.Src1), st.getR(a.Src2)
 		arch.FlagZ, arch.FlagL = x == y, x < y
-		return nil, nil, false, nil
 	case ACmpI:
 		x := st.getR(a.Src1)
 		arch.FlagZ, arch.FlagL = x == a.Imm, x < a.Imm
-		return nil, nil, false, nil
 	case ALd:
 		addr := st.getR(a.Src1) + a.Imm
 		if addr < 0 || addr >= int64(len(arch.Mem)) {
-			return nil, nil, false, fmt.Errorf("load address %d out of range", addr)
+			return false, 0, false, false, fmt.Errorf("load address %d out of range", addr)
 		}
-		return iw(a.Dst, arch.LoadI(addr)), nil, false, nil
+		iw(a.Dst, arch.LoadI(addr))
 	case ASt:
 		addr := st.getR(a.Src1) + a.Imm
 		if addr < 0 || addr >= int64(len(arch.Mem)) {
-			return nil, nil, false, fmt.Errorf("store address %d out of range", addr)
+			return false, 0, false, false, fmt.Errorf("store address %d out of range", addr)
 		}
 		arch.StoreI(addr, st.getR(a.Src2))
-		return nil, nil, false, nil
 	case AFLd:
 		addr := st.getR(a.Src1) + a.Imm
 		if addr < 0 || addr >= int64(len(arch.Mem)) {
-			return nil, nil, false, fmt.Errorf("fload address %d out of range", addr)
+			return false, 0, false, false, fmt.Errorf("fload address %d out of range", addr)
 		}
-		return fw(a.Dst, arch.LoadF(addr)), nil, false, nil
+		fw(a.Dst, arch.LoadF(addr))
 	case AFSt:
 		addr := st.getR(a.Src1) + a.Imm
 		if addr < 0 || addr >= int64(len(arch.Mem)) {
-			return nil, nil, false, fmt.Errorf("fstore address %d out of range", addr)
+			return false, 0, false, false, fmt.Errorf("fstore address %d out of range", addr)
 		}
 		arch.StoreF(addr, st.getF(a.Src2))
-		return nil, nil, false, nil
 	case AFMovI:
-		return fw(a.Dst, a.F), nil, false, nil
+		fw(a.Dst, a.F)
 	case AFMov:
-		return fw(a.Dst, st.getF(a.Src1)), nil, false, nil
+		fw(a.Dst, st.getF(a.Src1))
 	case AFAdd:
-		return fw(a.Dst, st.getF(a.Src1)+st.getF(a.Src2)), nil, false, nil
+		fw(a.Dst, st.getF(a.Src1)+st.getF(a.Src2))
 	case AFSub:
-		return fw(a.Dst, st.getF(a.Src1)-st.getF(a.Src2)), nil, false, nil
+		fw(a.Dst, st.getF(a.Src1)-st.getF(a.Src2))
 	case AFMul:
-		return fw(a.Dst, st.getF(a.Src1)*st.getF(a.Src2)), nil, false, nil
+		fw(a.Dst, st.getF(a.Src1)*st.getF(a.Src2))
 	case AFDiv:
-		return fw(a.Dst, st.getF(a.Src1)/st.getF(a.Src2)), nil, false, nil
+		fw(a.Dst, st.getF(a.Src1)/st.getF(a.Src2))
 	case AFSqrt:
-		return fw(a.Dst, math.Sqrt(st.getF(a.Src1))), nil, false, nil
+		fw(a.Dst, math.Sqrt(st.getF(a.Src1)))
 	case AFNeg:
-		return fw(a.Dst, -st.getF(a.Src1)), nil, false, nil
+		fw(a.Dst, -st.getF(a.Src1))
 	case AFAbs:
-		return fw(a.Dst, math.Abs(st.getF(a.Src1))), nil, false, nil
+		fw(a.Dst, math.Abs(st.getF(a.Src1)))
 	case ACvtIF:
-		return fw(a.Dst, float64(st.getR(a.Src1))), nil, false, nil
+		fw(a.Dst, float64(st.getR(a.Src1)))
 	case ACvtFI:
-		return iw(a.Dst, int64(st.getF(a.Src1))), nil, false, nil
+		iw(a.Dst, int64(st.getF(a.Src1)))
 	case AFCmp:
 		x, y := st.getF(a.Src1), st.getF(a.Src2)
 		arch.FlagZ, arch.FlagL = x == y, x < y
-		return nil, nil, false, nil
 	case ABr, ABrZ, ABrNZ, ABrL, ABrLE, ABrG, ABrGE:
 		take := false
 		switch a.Op {
@@ -396,14 +423,14 @@ func execAtom(a Atom, st *State) (*pendingWrite, *int, bool, error) {
 			take = !arch.FlagL
 		}
 		if !take {
-			return nil, nil, false, nil
+			return false, 0, false, false, nil
 		}
 		if a.Imm < 0 {
-			pc := int(-a.Imm - 1)
-			return nil, &pc, true, nil
+			return false, int(-a.Imm - 1), true, true, nil
 		}
-		pc := int(a.Imm)
-		return nil, &pc, false, nil
+		return false, int(a.Imm), true, false, nil
+	default:
+		return false, 0, false, false, fmt.Errorf("unknown atom op %d", a.Op)
 	}
-	return nil, nil, false, fmt.Errorf("unknown atom op %d", a.Op)
+	return wrote, 0, false, false, nil
 }
