@@ -628,6 +628,108 @@ func BenchmarkLongRun(b *testing.B) {
 	}
 }
 
+// BenchmarkMPIAllreduce measures the substrate's allreduce hot path —
+// one op is a full 8-rank in-place allreduce of 512 float64s — with the
+// per-rank buffer pools on (the shipping path, allocation-free at
+// steady state) and off (the baseline -benchmem exposes the gap
+// against). Allocations in the rank goroutines count: the testing
+// package reads process-wide allocator statistics.
+func BenchmarkMPIAllreduce(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"pooled", false}, {"unpooled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			w, err := mpi.NewWorldWithConfig(8, mpi.Config{
+				Fabric:       netsim.FastEthernet(),
+				DisablePool:  mode.disable,
+				ChannelDepth: 256,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(c *mpi.Comm) error {
+				buf := make([]float64, 512)
+				for i := 0; i < b.N; i++ {
+					buf[0] = float64(c.Rank() + i)
+					c.AllreduceInto(mpi.Sum, buf)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(w.MaxTime()/float64(b.N), "sim-seconds/op")
+		})
+	}
+}
+
+// BenchmarkMPICollectives compares the classic collective algorithms
+// against the native ones (recursive-doubling allreduce, pipelined ring
+// broadcast) on host time and simulated time.
+func BenchmarkMPICollectives(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		native bool
+	}{{"classic", false}, {"native", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			w, err := mpi.NewWorldWithConfig(16, mpi.Config{
+				Fabric:       netsim.FastEthernet(),
+				Native:       mode.native,
+				ChannelDepth: 256,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(c *mpi.Comm) error {
+				buf := make([]float64, 4096)
+				for i := 0; i < b.N; i++ {
+					buf[0] = float64(c.Rank() + i)
+					c.AllreduceInto(mpi.Sum, buf)
+					c.BcastInto(0, buf)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(w.MaxTime()/float64(b.N), "sim-seconds/op")
+		})
+	}
+}
+
+// BenchmarkNASSweep runs the p=1..8 parallel NAS rank sweep serially
+// and concurrently on the host pool; the simulated makespans are
+// identical by construction, so the delta is pure host wall time.
+func BenchmarkNASSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		concurrent bool
+	}{{"serial", false}, {"concurrent", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultNASSweepConfig()
+			cfg.Ranks = cfg.Ranks[:8]
+			cfg.Concurrent = mode.concurrent
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				rows, _, err := core.NewRun().NASSweep(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = 0
+				for _, row := range rows {
+					sim += row.EPTime + row.ISTime
+				}
+			}
+			b.ReportMetric(sim, "sim-makespan-sum")
+		})
+	}
+}
+
 // BenchmarkParallelEP scales the NPB EP kernel across simulated blades
 // (embarrassingly parallel: near-ideal speedup even on Fast Ethernet).
 func BenchmarkParallelEP(b *testing.B) {

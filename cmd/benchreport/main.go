@@ -1,16 +1,20 @@
 // Command benchreport runs the repository's host-performance benchmarks
 // in-process (via testing.Benchmark) and emits a machine-readable report:
 // host ns/op plus the simulated-machine metrics (cycles, Mflops) for the
-// gravity microkernel and a treecode force step.
+// gravity microkernel, a treecode force step, the MPI substrate's
+// allreduce hot path (pooled against the unpooled baseline) and the
+// parallel rank-sweep harness (serial against concurrent).
 //
-//	benchreport -out BENCH_pr3.json            # write the report
+//	benchreport -out BENCH_pr4.json            # write the report
 //	benchreport -guard                         # fail on in-run regressions
 //	benchreport -compare old.json              # fail on >10% ns/op slowdown
 //
 // The -guard checks are machine-independent where possible: simulated
-// cycle counts are deterministic, so "gears must not slow the simulated
-// machine down" is exact; host-side checks (the parallel path must not
-// run slower than serial) carry a 10% tolerance, benchstat-style.
+// cycle counts and virtual makespans are deterministic, so "gears must
+// not slow the simulated machine down", "pooling must cut allreduce
+// allocations at least 5x" and "the concurrent sweep must simulate the
+// exact same cluster" are exact; host-side checks (parallel paths must
+// not run slower than serial) carry a 10% tolerance, benchstat-style.
 package main
 
 import (
@@ -19,8 +23,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernels"
 	"repro/internal/mpi"
@@ -56,13 +63,15 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "bench_pr3_v1",
+		Schema:     "bench_pr4_v1",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	rep.Results = append(rep.Results, gravMicroEntries()...)
 	rep.Results = append(rep.Results, treecodeStepEntry())
 	rep.Results = append(rep.Results, hostParallelEntries()...)
+	rep.Results = append(rep.Results, mpiEntries()...)
+	rep.Results = append(rep.Results, sweepEntries()...)
 
 	for _, e := range rep.Results {
 		fmt.Printf("%-44s %14.0f ns/op  %d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
@@ -88,7 +97,7 @@ func main() {
 	}
 	if *compare != "" {
 		check(compareReports(*compare, &rep))
-		fmt.Printf("compare: no hostparallel benchmark slowed down >%.0f%% vs %s\n",
+		fmt.Printf("compare: no hostparallel/mpi benchmark slowed down >%.0f%% vs %s\n",
 			(slowdownTolerance-1)*100, *compare)
 	}
 }
@@ -216,6 +225,85 @@ func hostParallelEntries() []Entry {
 	return out
 }
 
+// mpiEntries benchmarks the MPI substrate's allreduce hot path: one op
+// is a full 8-rank in-place allreduce of 512 float64s, with the buffer
+// pools on (the shipping configuration) and off (the baseline the
+// zero-alloc messaging is measured against). Allocations anywhere in
+// the world's rank goroutines count: testing.Benchmark reads the
+// process-wide allocator statistics.
+func mpiEntries() []Entry {
+	var out []Entry
+	for _, disable := range []bool{false, true} {
+		name := "mpi/allreduce/pooled"
+		if disable {
+			name = "mpi/allreduce/unpooled"
+		}
+		var sim float64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			w, err := mpi.NewWorldWithConfig(8, mpi.Config{
+				Fabric:       netsim.FastEthernet(),
+				DisablePool:  disable,
+				ChannelDepth: 256,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(c *mpi.Comm) error {
+				buf := make([]float64, 512)
+				for i := 0; i < b.N; i++ {
+					buf[0] = float64(c.Rank() + i)
+					c.AllreduceInto(mpi.Sum, buf)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = w.MaxTime()
+		})
+		out = append(out, Entry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			Metrics:     map[string]float64{"sim_seconds": sim},
+		})
+	}
+	return out
+}
+
+// sweepEntries times the parallel NAS rank sweep (p = 1..8, class S)
+// serially and concurrently. The simulated makespan sum is a pure
+// function of the sweep's programs, so it doubles as the determinism
+// fingerprint the guard compares exactly.
+func sweepEntries() []Entry {
+	var out []Entry
+	for _, concurrent := range []bool{false, true} {
+		name := "sweep/nas/serial"
+		if concurrent {
+			name = "sweep/nas/concurrent"
+		}
+		cfg := core.DefaultNASSweepConfig()
+		cfg.Ranks = cfg.Ranks[:8]
+		cfg.Concurrent = concurrent
+		t0 := time.Now()
+		rows, _, err := core.NewRun().NASSweep(cfg)
+		check(err)
+		wall := time.Since(t0)
+		var simSum float64
+		for _, row := range rows {
+			simSum += row.EPTime + row.ISTime
+		}
+		out = append(out, Entry{
+			Name:    name,
+			NsPerOp: float64(wall.Nanoseconds()),
+			Metrics: map[string]float64{"sim_makespan_sum": simSum},
+		})
+	}
+	return out
+}
+
 func check2(b *testing.B, err error) {
 	if err != nil {
 		b.Fatal(err)
@@ -262,11 +350,43 @@ func guardReport(rep *Report) error {
 			}
 		}
 	}
+	// The zero-alloc messaging bar: pooling must cut the allreduce hot
+	// path's allocation rate at least 5x (exact — the allocator count is
+	// deterministic at steady state) and must not cost host time.
+	pooled := find(rep, "mpi/allreduce/pooled")
+	unpooled := find(rep, "mpi/allreduce/unpooled")
+	if pooled == nil || unpooled == nil {
+		return fmt.Errorf("guard: missing mpi/allreduce entries")
+	}
+	if 5*(pooled.AllocsPerOp+1) > unpooled.AllocsPerOp {
+		return fmt.Errorf("guard: pooling cut allreduce allocations less than 5x: %d vs %d allocs/op",
+			pooled.AllocsPerOp, unpooled.AllocsPerOp)
+	}
+	if pooled.NsPerOp > unpooled.NsPerOp*slowdownTolerance {
+		return fmt.Errorf("guard: pooled allreduce is >%.0f%% slower than unpooled: %.0f vs %.0f ns/op",
+			(slowdownTolerance-1)*100, pooled.NsPerOp, unpooled.NsPerOp)
+	}
+	// Sweep determinism, exact: the concurrent sweep must simulate the
+	// same cluster bit-for-bit (the makespans are virtual time, not host
+	// time). Host-side, the concurrent sweep must not lose to serial.
+	serialSweep := find(rep, "sweep/nas/serial")
+	concSweep := find(rep, "sweep/nas/concurrent")
+	if serialSweep == nil || concSweep == nil {
+		return fmt.Errorf("guard: missing sweep/nas entries")
+	}
+	if serialSweep.Metrics["sim_makespan_sum"] != concSweep.Metrics["sim_makespan_sum"] {
+		return fmt.Errorf("guard: concurrent sweep changed simulated makespans: %g vs %g",
+			concSweep.Metrics["sim_makespan_sum"], serialSweep.Metrics["sim_makespan_sum"])
+	}
+	if g > 1 && concSweep.NsPerOp > serialSweep.NsPerOp*slowdownTolerance {
+		return fmt.Errorf("guard: concurrent sweep is >%.0f%% slower than serial: %.0f vs %.0f ns",
+			(slowdownTolerance-1)*100, concSweep.NsPerOp, serialSweep.NsPerOp)
+	}
 	return nil
 }
 
-// compareReports is the benchstat-style step: every hostparallel
-// benchmark present in both reports must not have slowed down >10%.
+// compareReports is the benchstat-style step: every hostparallel and
+// mpi benchmark present in both reports must not have slowed down >10%.
 // Only meaningful when both reports come from the same machine.
 func compareReports(oldPath string, cur *Report) error {
 	data, err := os.ReadFile(oldPath)
@@ -280,7 +400,7 @@ func compareReports(oldPath string, cur *Report) error {
 	compared := 0
 	for i := range old.Results {
 		o := &old.Results[i]
-		if len(o.Name) < len("hostparallel/") || o.Name[:len("hostparallel/")] != "hostparallel/" {
+		if !strings.HasPrefix(o.Name, "hostparallel/") && !strings.HasPrefix(o.Name, "mpi/") {
 			continue
 		}
 		n := find(cur, o.Name)
@@ -294,7 +414,7 @@ func compareReports(oldPath string, cur *Report) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("compare: no hostparallel benchmarks in common with %s", oldPath)
+		return fmt.Errorf("compare: no hostparallel/mpi benchmarks in common with %s", oldPath)
 	}
 	return nil
 }

@@ -9,7 +9,12 @@
 //	metablade -all            # everything
 //	metablade -table 3 -class W
 //	metablade -table 2 -particles 60000
+//	metablade -table 2 -sweep     # run the sweep's worlds concurrently
 //	metablade -obs-json out.json -trace out.trace
+//
+// -sweep runs Table 2's independent per-CPU-count worlds concurrently
+// on the host pool (bounded by -procs); rows and observability output
+// are bit-identical to the serial sweep.
 //
 // With an observability output requested (-obs-json, -obs-csv, -trace,
 // or -format json) and no explicit table or figure selection, metablade
@@ -33,6 +38,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	class := flag.String("class", "W", "NPB class for table 3 (S, W, A)")
 	particles := flag.Int("particles", 0, "particle count override for table 2 / figure 3")
+	sweep := flag.Bool("sweep", false, "run table 2's independent worlds concurrently on the host pool")
 	flag.Parse()
 	d.Check(d.Setup())
 
@@ -48,6 +54,7 @@ func main() {
 		d.Check(err)
 		d.Textf("%s\n", t1)
 		cfg := core.DefaultTable2Config()
+		cfg.Concurrent = *sweep
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}
@@ -66,6 +73,7 @@ func main() {
 	}
 	if run(2) {
 		cfg := core.DefaultTable2Config()
+		cfg.Concurrent = *sweep
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}

@@ -7,6 +7,17 @@
 //	nasbench -class W           # the paper's Table 3 size
 //	nasbench -kernel EP -class W
 //	nasbench -class W -obs-json nas.json
+//	nasbench -sweep             # parallel EP/IS rank sweep, p=1..24
+//	nasbench -sweep -ranks 8    # sweep p=1..8
+//	nasbench -sweep -serial     # same sweep, one world at a time
+//
+// The -sweep mode runs the distributed EP and IS kernels at every rank
+// count on the simulated cluster. The sweep's worlds are independent, so
+// they execute concurrently on the host pool (bounded by -procs);
+// -serial disables that, producing bit-identical rows either way.
+// -native selects the native collective algorithms and -contention the
+// per-port fabric occupancy model (both change simulated times and are
+// off by default).
 package main
 
 import (
@@ -27,9 +38,33 @@ func main() {
 	kernel := flag.String("kernel", "", "run one kernel (BT, SP, LU, MG, EP, IS, CG); empty = all")
 	class := flag.String("class", "S", "problem class (S, W, A)")
 	rate := flag.Bool("rate", true, "rate on the Table 3 processors")
+	sweep := flag.Bool("sweep", false, "run the parallel EP/IS rank sweep instead of the serial kernel table")
+	ranks := flag.Int("ranks", 24, "sweep rank counts 1..N")
+	serial := flag.Bool("serial", false, "run the sweep's worlds one at a time instead of concurrently")
+	native := flag.Bool("native", false, "sweep with native collectives (recursive doubling, pipelined ring)")
+	contention := flag.Bool("contention", false, "sweep with the per-port fabric occupancy model")
 	flag.Parse()
 	d.Check(d.Setup())
 	snap := d.Run.Snap
+
+	if *sweep {
+		cfg := core.DefaultNASSweepConfig()
+		cfg.Class = nas.Class((*class)[0])
+		if *ranks > 0 {
+			cfg.Ranks = cfg.Ranks[:0]
+			for p := 1; p <= *ranks; p++ {
+				cfg.Ranks = append(cfg.Ranks, p)
+			}
+		}
+		cfg.Concurrent = !*serial
+		cfg.Native = *native
+		cfg.Contention = *contention
+		_, t, err := d.Run.NASSweep(cfg)
+		d.Check(err)
+		d.Textf("%s\n", t)
+		d.Check(d.Finish())
+		return
+	}
 
 	var costs []cpu.EffCosts
 	var procs []cpu.Processor

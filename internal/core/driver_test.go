@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -41,11 +42,22 @@ func TestDriverEnvelope(t *testing.T) {
 		t.Fatalf("driver meta = %q", got)
 	}
 
-	// Stand in for an experiment: the four driver-contract metrics.
+	// Stand in for an experiment: the cms/treecode contract metrics by
+	// hand, the mpi vocabulary gathered from a real (tiny) world so the
+	// schema's required samples track what Collect actually emits.
 	d.Run.Snap.AddCounter("cms.cycles.total", "cycles", "", 12345)
-	d.Run.Snap.AddCounter("mpi.bytes.total", "B", "", 678)
-	d.Run.Snap.SetGauge("mpi.time.max", "s", "", 0.5)
 	d.Run.Snap.AddCounter("treecode.interactions", "", "", 90)
+	w, err := mpi.NewWorldWithConfig(2, mpi.Config{ChannelDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *mpi.Comm) error {
+		c.AllreduceInto(mpi.Sum, []float64{float64(c.Rank())})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run.Snap.Gather(w)
 	sp := d.Run.Tracer.Begin(obs.PidHost, 0, "test", "phase")
 	sp.End(nil)
 

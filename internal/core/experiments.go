@@ -12,6 +12,7 @@ import (
 	"repro/internal/nbody"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/tco"
 	"repro/internal/treecode"
 )
@@ -86,6 +87,13 @@ type Table2Config struct {
 	Particles int
 	CPUCounts []int
 	Theta     float64
+	// Concurrent runs the sweep's independent worlds concurrently on
+	// the internal/par pool (the -sweep mode); rows and snapshot are
+	// bit-identical to the serial sweep.
+	Concurrent bool
+	// Workers bounds host concurrency when Concurrent (0 = the
+	// process-wide default).
+	Workers int
 }
 
 // DefaultTable2Config mirrors the paper's sweep of the 24-blade chassis.
@@ -115,23 +123,58 @@ func (r *Run) Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 		SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
 		SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
 	}
-	var rows []Table2Row
-	var t1 float64
-	for _, p := range cfg.CPUCounts {
-		sp := r.Tracer.Begin(obs.PidHost, 0, "table2", fmt.Sprintf("p%d", p))
+	type t2out struct {
+		w   *mpi.World
+		res *treecode.ParallelResult
+		err error
+	}
+	outs := make([]t2out, len(cfg.CPUCounts))
+	runOne := func(i int) {
+		o := &outs[i]
+		p := cfg.CPUCounts[i]
 		s := nbody.NewPlummer(cfg.Particles, 1, 2001)
-		w, err := mpi.NewWorld(p, netsim.FastEthernet())
+		wcfg := mpi.Config{Fabric: netsim.FastEthernet()}
+		if cfg.Concurrent {
+			// The concurrent sweep keeps every world's channels alive at
+			// once; the LET exchange never queues deeply, so cap the
+			// host-side buffers (virtual times are unaffected).
+			wcfg.ChannelDepth = sweepChannelDepth
+		}
+		w, err := mpi.NewWorldWithConfig(p, wcfg)
 		if err != nil {
-			return nil, nil, err
+			o.err = err
+			return
 		}
 		w.Tracer = r.Tracer
-		res, err := treecode.ParallelForces(w, s, treecode.ParallelConfig{
+		o.w = w
+		o.res, o.err = treecode.ParallelForces(w, s, treecode.ParallelConfig{
 			Theta: cfg.Theta, Eps: s.Eps, Cost: cm,
 		})
-		if err != nil {
-			return nil, nil, err
+	}
+	if cfg.Concurrent {
+		tasks := make([]func(), len(cfg.CPUCounts))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { runOne(i) }
 		}
-		sp.End(map[string]any{"cpus": p, "sim_time": res.SimTime})
+		par.New(cfg.Workers).Do(tasks...)
+	} else {
+		for i, p := range cfg.CPUCounts {
+			sp := r.Tracer.Begin(obs.PidHost, 0, "table2", fmt.Sprintf("p%d", p))
+			runOne(i)
+			sp.End(map[string]any{"cpus": p})
+		}
+	}
+	// Deterministic post-pass in CPU-count order, independent of the
+	// workers' completion order.
+	var rows []Table2Row
+	var t1 float64
+	for i, p := range cfg.CPUCounts {
+		o := &outs[i]
+		if o.err != nil {
+			return nil, nil, o.err
+		}
+		res := o.res
 		if p == cfg.CPUCounts[0] && p == 1 {
 			t1 = res.SimTime
 		} else if t1 == 0 {
@@ -142,7 +185,7 @@ func (r *Run) Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 			TimeSec: res.SimTime,
 			Speedup: metrics.Speedup(t1, res.SimTime),
 		}
-		r.gather(w, res)
+		r.gather(o.w, res)
 		r.Snap.SetGauge(fmt.Sprintf("table2.p%02d.time", p), "s", "simulated N-body force time", row.TimeSec)
 		r.Snap.SetGauge(fmt.Sprintf("table2.p%02d.speedup", p), "", "speedup over one blade", row.Speedup)
 		rows = append(rows, row)

@@ -12,6 +12,8 @@ const (
 	tagScatter
 	tagAllgather
 	tagAlltoall
+	tagAllreduce
+	tagBcastPipe
 )
 
 // Op is a reduction operator over float64 elements.
@@ -34,9 +36,38 @@ var (
 	}
 )
 
+// The collectives come in two layers. The public slice-returning APIs
+// (Bcast, Allreduce, Allgather, ...) keep their historical signatures and
+// — in the default classic mode — their historical message patterns, so
+// virtual times are bit-for-bit what they always were; internally they now
+// draw every wire copy from the rank's buffer pool. The Into variants
+// (AllreduceInto, BcastInto, AllgatherInto) additionally reduce into
+// caller-provided buffers, which is what the hot loops use: a steady-state
+// iteration allocates nothing.
+//
+// Config.Native switches Allreduce/Bcast to dedicated algorithms
+// (recursive doubling; pipelined segmented ring) whose virtual-time costs
+// follow the corresponding netsim formulas instead of the classic ones.
+
+// sendDisposableF64 sends a pooled buffer the caller is finished with:
+// small payloads take the eager path (copied into a fresh pooled buffer,
+// modelling the transport's bounce buffer, and the original is recycled
+// immediately); payloads at or above the rendezvous threshold transfer
+// ownership without a copy.
+func (c *Comm) sendDisposableF64(dst, tag int, buf []float64) {
+	if c.wantOwned(8 * len(buf)) {
+		c.sendF64(dst, tag, buf, true)
+		return
+	}
+	c.sendF64(dst, tag, buf, false)
+	c.pool.releaseF64(buf)
+}
+
 // Barrier synchronizes all ranks (dissemination algorithm: ceil(log2 p)
 // rounds of pairwise messages).
 func (c *Comm) Barrier() {
+	prev := c.enterCollective(ctxBarrier)
+	defer c.exitCollective(prev)
 	p := c.Size()
 	for dist := 1; dist < p; dist *= 2 {
 		to := (c.rank + dist) % p
@@ -44,14 +75,26 @@ func (c *Comm) Barrier() {
 		if to == c.rank {
 			continue
 		}
-		c.send(to, message{tag: tagBarrier})
+		c.send(to, message{tag: tagBarrier}, true)
 		c.recv(from, tagBarrier)
 	}
 }
 
-// Bcast broadcasts root's buffer to every rank (binomial tree). Every
-// rank passes its own buf; non-roots receive into the returned slice.
+// Bcast broadcasts root's buffer to every rank. Every rank passes its
+// own buf; non-roots receive into the returned slice (recyclable with
+// ReleaseF64). In native mode every rank's buf must have the root's
+// length.
 func (c *Comm) Bcast(root int, buf []float64) []float64 {
+	prev := c.enterCollective(ctxBcast)
+	defer c.exitCollective(prev)
+	if c.world.cfg.Native {
+		out := buf
+		if c.rank != root {
+			out = c.pool.acquireF64(len(buf))
+		}
+		c.bcastPipeInto(root, out)
+		return out
+	}
 	p := c.Size()
 	if p == 1 {
 		return buf
@@ -71,7 +114,7 @@ func (c *Comm) Bcast(root int, buf []float64) []float64 {
 		case 0:
 			dst := vrank + dist
 			if dst < p {
-				c.send((dst+root)%p, message{tag: tagBcast, f64: append([]float64(nil), data...)})
+				c.sendF64((dst+root)%p, tagBcast, data, false)
 			}
 		case dist:
 			m := c.recv((vrank-dist+root)%p, tagBcast)
@@ -81,63 +124,293 @@ func (c *Comm) Bcast(root int, buf []float64) []float64 {
 	return data
 }
 
-// Reduce combines elementwise with op onto root (binomial tree). Returns
-// the combined slice at root and nil elsewhere.
-func (c *Comm) Reduce(root int, op Op, data []float64) []float64 {
+// BcastInto broadcasts root's buf into every rank's buf, in place. All
+// ranks must pass equal-length buffers.
+func (c *Comm) BcastInto(root int, buf []float64) {
+	prev := c.enterCollective(ctxBcast)
+	defer c.exitCollective(prev)
+	if c.world.cfg.Native {
+		c.bcastPipeInto(root, buf)
+		return
+	}
+	c.bcastInto(root, buf)
+}
+
+// bcastInto is the classic binomial tree, receiving into buf: the
+// message sequence is identical to Bcast's, so virtual times match
+// bit-for-bit; the received pooled buffer is recycled after the copy.
+func (c *Comm) bcastInto(root int, buf []float64) {
 	p := c.Size()
-	acc := append([]float64(nil), data...)
 	if p == 1 {
+		return
+	}
+	vrank := (c.rank - root + p) % p
+	top := 1
+	for top < p {
+		top *= 2
+	}
+	for dist := top / 2; dist >= 1; dist /= 2 {
+		switch vrank % (2 * dist) {
+		case 0:
+			dst := vrank + dist
+			if dst < p {
+				c.sendF64((dst+root)%p, tagBcast, buf, false)
+			}
+		case dist:
+			m := c.recv((vrank-dist+root)%p, tagBcast)
+			if len(m.f64) != len(buf) {
+				panic(fmt.Sprintf("mpi: bcast length mismatch %d vs %d", len(m.f64), len(buf)))
+			}
+			copy(buf, m.f64)
+			c.pool.releaseF64(m.f64)
+		}
+	}
+}
+
+// bcastPipeInto is the native broadcast: a pipelined ring with
+// Config.SegmentBytes segmentation. Rank root feeds segments around the
+// ring; every rank forwards a segment as soon as it lands, so the
+// virtual-time cost approaches (p-2+nseg)·PTP(segment) — the
+// netsim.BcastPipelined formula — instead of the binomial
+// ceil(log2 p)·PTP(total).
+func (c *Comm) bcastPipeInto(root int, buf []float64) {
+	p := c.Size()
+	if p == 1 || len(buf) == 0 {
+		return
+	}
+	seg := c.world.cfg.SegmentBytes / 8
+	if seg < 1 {
+		seg = 1
+	}
+	vrank := (c.rank - root + p) % p
+	next := (c.rank + 1) % p
+	prevRank := (c.rank - 1 + p) % p
+	for off := 0; off < len(buf); off += seg {
+		end := off + seg
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if vrank > 0 {
+			m := c.recv(prevRank, tagBcastPipe)
+			if len(m.f64) != end-off {
+				panic(fmt.Sprintf("mpi: bcast segment mismatch %d vs %d", len(m.f64), end-off))
+			}
+			copy(buf[off:end], m.f64)
+			c.pool.releaseF64(m.f64)
+		}
+		if vrank < p-1 {
+			c.sendF64(next, tagBcastPipe, buf[off:end], false)
+		}
+	}
+}
+
+// Reduce combines elementwise with op onto root (binomial tree). Returns
+// the combined slice at root (recyclable with ReleaseF64) and nil
+// elsewhere.
+func (c *Comm) Reduce(root int, op Op, data []float64) []float64 {
+	prev := c.enterCollective(ctxReduce)
+	defer c.exitCollective(prev)
+	acc := c.pool.copyF64(data)
+	if c.reduceIntoDisposable(root, op, acc) {
 		return acc
+	}
+	return nil
+}
+
+// ReduceInto combines elementwise with op onto root, in place in buf.
+// buf is left combined at root and holds intermediate partials
+// elsewhere. Returns true at root.
+func (c *Comm) ReduceInto(root int, op Op, buf []float64) bool {
+	prev := c.enterCollective(ctxReduce)
+	defer c.exitCollective(prev)
+	return c.reduceInto(root, op, buf)
+}
+
+// reduceInto is the classic binomial reduction folding into buf. The
+// message sequence (sizes, order, tags) is identical to the historical
+// Reduce, so virtual times match bit-for-bit. Returns true at root.
+// buf belongs to the caller, so the non-root send copies it eagerly.
+func (c *Comm) reduceInto(root int, op Op, buf []float64) bool {
+	p := c.Size()
+	if p == 1 {
+		return true
 	}
 	vrank := (c.rank - root + p) % p
 	for dist := 1; dist < p; dist *= 2 {
 		if vrank%(2*dist) == 0 {
 			src := vrank + dist
 			if src < p {
-				m := c.recv((src+root)%p, tagReduce)
-				if len(m.f64) != len(acc) {
-					panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(m.f64), len(acc)))
-				}
-				for i := range acc {
-					acc[i] = op(acc[i], m.f64[i])
-				}
+				c.reduceFold(op, buf, (src+root)%p)
 			}
 		} else {
 			dst := vrank - dist
-			c.send((dst+root)%p, message{tag: tagReduce, f64: acc})
-			return nil
+			c.sendF64((dst+root)%p, tagReduce, buf, false)
+			return false
 		}
 	}
-	if vrank == 0 {
-		return acc
-	}
-	return nil
+	return vrank == 0
 }
 
-// Allreduce combines elementwise with op, result on every rank
-// (reduce to rank 0, then broadcast — the MPICH algorithm on Ethernet).
+// reduceIntoDisposable is reduceInto for a pooled buffer the caller
+// relinquishes on non-root ranks: the leaf send can transfer ownership
+// (rendezvous) when large. Returns true at root, where acc holds the
+// result.
+func (c *Comm) reduceIntoDisposable(root int, op Op, acc []float64) bool {
+	p := c.Size()
+	if p == 1 {
+		return true
+	}
+	vrank := (c.rank - root + p) % p
+	for dist := 1; dist < p; dist *= 2 {
+		if vrank%(2*dist) == 0 {
+			src := vrank + dist
+			if src < p {
+				c.reduceFold(op, acc, (src+root)%p)
+			}
+		} else {
+			dst := vrank - dist
+			c.sendDisposableF64((dst+root)%p, tagReduce, acc)
+			return false
+		}
+	}
+	return vrank == 0
+}
+
+// reduceFold receives a partial result from src and folds it into acc,
+// recycling the wire buffer.
+func (c *Comm) reduceFold(op Op, acc []float64, src int) {
+	m := c.recv(src, tagReduce)
+	if len(m.f64) != len(acc) {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(m.f64), len(acc)))
+	}
+	for i := range acc {
+		acc[i] = op(acc[i], m.f64[i])
+	}
+	c.pool.releaseF64(m.f64)
+}
+
+// Allreduce combines elementwise with op, result on every rank. The
+// returned slice is freshly drawn from the pool (recyclable with
+// ReleaseF64). Classic mode is reduce-to-0 + broadcast (the MPICH
+// algorithm on Ethernet); native mode is recursive doubling.
 func (c *Comm) Allreduce(op Op, data []float64) []float64 {
-	out := c.Reduce(0, op, data)
-	if out == nil {
-		out = make([]float64, len(data))
-	}
-	return c.Bcast(0, out)
+	prev := c.enterCollective(ctxAllreduce)
+	defer c.exitCollective(prev)
+	acc := c.pool.copyF64(data)
+	c.allreduceInto(op, acc)
+	return acc
 }
 
-// AllreduceScalar is Allreduce for a single value.
+// AllreduceInto combines elementwise with op in place: every rank's buf
+// holds the combined result on return. The hot-loop form — a
+// steady-state iteration allocates nothing.
+func (c *Comm) AllreduceInto(op Op, buf []float64) {
+	prev := c.enterCollective(ctxAllreduce)
+	defer c.exitCollective(prev)
+	c.allreduceInto(op, buf)
+}
+
+func (c *Comm) allreduceInto(op Op, buf []float64) {
+	if c.world.cfg.Native {
+		c.allreduceRecDbl(op, buf)
+		return
+	}
+	c.reduceInto(0, op, buf)
+	c.bcastInto(0, buf)
+}
+
+// allreduceRecDbl is the native allreduce: recursive doubling over the
+// largest power-of-two subset, with the leftover ranks folded in before
+// and copied out after (the MPICH scheme). Partial results are always
+// combined in canonical block order — op(lower block, higher block) — so
+// every rank evaluates the same reduction tree and the result is
+// bit-identical across ranks even for non-associative float addition.
+func (c *Comm) allreduceRecDbl(op Op, buf []float64) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	q := 1
+	for q*2 <= p {
+		q *= 2
+	}
+	extra := p - q
+	r := c.rank
+	newrank := r - extra
+	if r < 2*extra {
+		if r%2 == 0 {
+			// Fold this rank's block into r+1, then sit out the exchange.
+			c.sendF64(r+1, tagAllreduce, buf, false)
+			newrank = -1
+		} else {
+			m := c.recv(r-1, tagAllreduce)
+			if len(m.f64) != len(buf) {
+				panic(fmt.Sprintf("mpi: allreduce length mismatch %d vs %d", len(m.f64), len(buf)))
+			}
+			for i := range buf {
+				buf[i] = op(m.f64[i], buf[i]) // r-1 is the lower block
+			}
+			c.pool.releaseF64(m.f64)
+			newrank = r / 2
+		}
+	}
+	if newrank >= 0 {
+		for dist := 1; dist < q; dist *= 2 {
+			pn := newrank ^ dist
+			partner := pn + extra
+			if pn < extra {
+				partner = pn*2 + 1
+			}
+			c.sendF64(partner, tagAllreduce, buf, false)
+			m := c.recv(partner, tagAllreduce)
+			if len(m.f64) != len(buf) {
+				panic(fmt.Sprintf("mpi: allreduce length mismatch %d vs %d", len(m.f64), len(buf)))
+			}
+			if newrank < pn {
+				for i := range buf {
+					buf[i] = op(buf[i], m.f64[i])
+				}
+			} else {
+				for i := range buf {
+					buf[i] = op(m.f64[i], buf[i])
+				}
+			}
+			c.pool.releaseF64(m.f64)
+		}
+	}
+	if r < 2*extra {
+		if r%2 == 0 {
+			m := c.recv(r+1, tagAllreduce)
+			copy(buf, m.f64)
+			c.pool.releaseF64(m.f64)
+		} else {
+			c.sendF64(r-1, tagAllreduce, buf, false)
+		}
+	}
+}
+
+// AllreduceScalar is Allreduce for a single value, staged through a
+// per-rank scratch word so it allocates nothing.
 func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
-	return c.Allreduce(op, []float64{v})[0]
+	prev := c.enterCollective(ctxAllreduce)
+	defer c.exitCollective(prev)
+	c.scratch[0] = v
+	c.allreduceInto(op, c.scratch[:1])
+	return c.scratch[0]
 }
 
 // Gather collects every rank's slice at root, concatenated in rank order.
-// Non-roots receive nil.
+// Non-roots receive nil; the rows of the returned slice are recyclable
+// with ReleaseF64.
 func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	prev := c.enterCollective(ctxGather)
+	defer c.exitCollective(prev)
 	if c.rank != root {
-		c.send(root, message{tag: tagGather, f64: append([]float64(nil), data...)})
+		c.sendF64(root, tagGather, data, false)
 		return nil
 	}
 	out := make([][]float64, c.Size())
-	out[root] = append([]float64(nil), data...)
+	out[root] = c.pool.copyF64(data)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
@@ -147,8 +420,11 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 	return out
 }
 
-// Scatter distributes root's per-rank slices; returns this rank's piece.
+// Scatter distributes root's per-rank slices; returns this rank's piece
+// (recyclable with ReleaseF64).
 func (c *Comm) Scatter(root int, pieces [][]float64) []float64 {
+	prev := c.enterCollective(ctxScatter)
+	defer c.exitCollective(prev)
 	if c.rank == root {
 		if len(pieces) != c.Size() {
 			panic("mpi: scatter needs one piece per rank")
@@ -157,24 +433,27 @@ func (c *Comm) Scatter(root int, pieces [][]float64) []float64 {
 			if r == root {
 				continue
 			}
-			c.send(r, message{tag: tagScatter, f64: append([]float64(nil), pieces[r]...)})
+			c.sendF64(r, tagScatter, pieces[r], false)
 		}
-		return append([]float64(nil), pieces[root]...)
+		return c.pool.copyF64(pieces[root])
 	}
 	return c.recv(root, tagScatter).f64
 }
 
 // Allgather gives every rank the concatenation (in rank order) of every
-// rank's data, via a ring.
+// rank's data, via a ring. The rows of the returned slice are recyclable
+// with ReleaseF64.
 func (c *Comm) Allgather(data []float64) [][]float64 {
+	prev := c.enterCollective(ctxAllgather)
+	defer c.exitCollective(prev)
 	p := c.Size()
 	out := make([][]float64, p)
-	out[c.rank] = append([]float64(nil), data...)
+	out[c.rank] = c.pool.copyF64(data)
 	cur := out[c.rank]
 	right := (c.rank + 1) % p
 	left := (c.rank - 1 + p) % p
 	for step := 0; step < p-1; step++ {
-		c.send(right, message{tag: tagAllgather, f64: append([]float64(nil), cur...)})
+		c.sendF64(right, tagAllgather, cur, false)
 		m := c.recv(left, tagAllgather)
 		src := (c.rank - step - 1 + p) % p
 		out[src] = m.f64
@@ -183,16 +462,61 @@ func (c *Comm) Allgather(data []float64) [][]float64 {
 	return out
 }
 
-// AllgatherInts is Allgather for int64 payloads.
+// AllgatherInto gives every rank the concatenation (in rank order) of
+// every rank's equal-length data, written into the caller's flat out
+// buffer (len(out) == p*len(data)). Same ring and message sequence as
+// Allgather — virtual times match bit-for-bit — but the relay buffers
+// are recycled (or ownership-transferred when large), so a steady-state
+// iteration allocates nothing.
+func (c *Comm) AllgatherInto(data []float64, out []float64) {
+	prev := c.enterCollective(ctxAllgather)
+	defer c.exitCollective(prev)
+	p := c.Size()
+	n := len(data)
+	if len(out) != p*n {
+		panic(fmt.Sprintf("mpi: allgather out length %d, want %d", len(out), p*n))
+	}
+	copy(out[c.rank*n:], data)
+	if p == 1 {
+		return
+	}
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := data
+	owned := false
+	for step := 0; step < p-1; step++ {
+		if owned {
+			c.sendDisposableF64(right, tagAllgather, cur)
+		} else {
+			c.sendF64(right, tagAllgather, cur, false)
+		}
+		m := c.recv(left, tagAllgather)
+		if len(m.f64) != n {
+			panic(fmt.Sprintf("mpi: allgather length mismatch %d vs %d", len(m.f64), n))
+		}
+		src := (c.rank - step - 1 + p) % p
+		copy(out[src*n:], m.f64)
+		cur = m.f64
+		owned = true
+	}
+	if owned {
+		c.pool.releaseF64(cur)
+	}
+}
+
+// AllgatherInts is Allgather for int64 payloads; rows are recyclable
+// with ReleaseI64.
 func (c *Comm) AllgatherInts(data []int64) [][]int64 {
+	prev := c.enterCollective(ctxAllgather)
+	defer c.exitCollective(prev)
 	p := c.Size()
 	out := make([][]int64, p)
-	out[c.rank] = append([]int64(nil), data...)
+	out[c.rank] = c.pool.copyI64(data)
 	cur := out[c.rank]
 	right := (c.rank + 1) % p
 	left := (c.rank - 1 + p) % p
 	for step := 0; step < p-1; step++ {
-		c.send(right, message{tag: tagAllgather, i64: append([]int64(nil), cur...)})
+		c.sendI64(right, tagAllgather, cur, false)
 		m := c.recv(left, tagAllgather)
 		src := (c.rank - step - 1 + p) % p
 		out[src] = m.i64
@@ -203,18 +527,21 @@ func (c *Comm) AllgatherInts(data []int64) [][]int64 {
 
 // AlltoallInts performs a personalized exchange: element send[d] goes to
 // rank d; the result's element s came from rank s. Used by the IS bucket
-// redistribution.
+// redistribution. Rows of the result are pooled buffers — recycle them
+// with ReleaseI64 when done to keep the exchange allocation-free.
 func (c *Comm) AlltoallInts(send [][]int64) [][]int64 {
+	prev := c.enterCollective(ctxAlltoall)
+	defer c.exitCollective(prev)
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoall needs one slice per rank")
 	}
 	out := make([][]int64, p)
-	out[c.rank] = append([]int64(nil), send[c.rank]...)
+	out[c.rank] = c.pool.copyI64(send[c.rank])
 	for step := 1; step < p; step++ {
 		dst := (c.rank + step) % p
 		src := (c.rank - step + p) % p
-		c.send(dst, message{tag: tagAlltoall, i64: append([]int64(nil), send[dst]...)})
+		c.sendI64(dst, tagAlltoall, send[dst], false)
 		out[src] = c.recv(src, tagAlltoall).i64
 	}
 	return out

@@ -1,0 +1,592 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// testDepth keeps test worlds cheap: channel buffers are preallocated,
+// and these programs never queue more than a handful of messages.
+const testDepth = 64
+
+// allreduceMallocs runs iters in-place allreduces on every rank of a
+// p-rank world, after a warmup that fills the buffer pools, and returns
+// the process-wide allocation count across the measured phase. The
+// measurement is bracketed by barrier pairs: a rank cannot leave a
+// dissemination barrier before every rank has entered it, so rank 0's
+// MemStats readings happen strictly before and strictly after all
+// measured work, and barrier messages themselves carry no payload.
+func allreduceMallocs(t *testing.T, cfg Config, p, n, iters int) uint64 {
+	t.Helper()
+	cfg.ChannelDepth = testDepth
+	w, err := NewWorldWithConfig(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	err = w.Run(func(c *Comm) error {
+		buf := make([]float64, n)
+		for i := 0; i < 8; i++ { // warmup: reach buffer-flow equilibrium
+			buf[0] = float64(c.Rank() + i)
+			c.AllreduceInto(Sum, buf)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		c.Barrier() // nobody starts measured work before the reading
+		for i := 0; i < iters; i++ {
+			buf[0] = float64(c.Rank() - i)
+			c.AllreduceInto(Sum, buf)
+		}
+		c.Barrier() // all measured work done before the reading
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return after.Mallocs - before.Mallocs
+}
+
+func TestAllreduceSteadyStateAllocFree(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const iters = 300
+	got := allreduceMallocs(t, Config{}, 8, 64, iters)
+	// The steady state must be allocation-free: every wire buffer comes
+	// from a pool, and the reduce-down/bcast-up flow returns exactly as
+	// many buffers to each rank as it sends. The only slack allowed is
+	// runtime background noise, far below one allocation per operation.
+	if got > iters/10 {
+		t.Fatalf("pooled allreduce steady state: %d mallocs over %d iterations", got, iters)
+	}
+}
+
+func TestPooledAllreduceAllocAdvantage(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const iters = 200
+	pooled := allreduceMallocs(t, Config{}, 8, 64, iters)
+	unpooled := allreduceMallocs(t, Config{DisablePool: true}, 8, 64, iters)
+	// The acceptance bar for this substrate: pooling cuts the hot-path
+	// allocation rate by at least 5x (in practice it goes to ~zero,
+	// against ~2 allocations per message unpooled).
+	if 5*(pooled+1) > unpooled {
+		t.Fatalf("pooling advantage too small: pooled=%d unpooled=%d over %d iterations",
+			pooled, unpooled, iters)
+	}
+}
+
+func TestPoolStatsDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		w, err := NewWorldWithConfig(6, Config{ChannelDepth: testDepth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Comm) error {
+			buf := make([]float64, 100)
+			for i := 0; i < 20; i++ {
+				buf[0] = float64(c.Rank())
+				c.AllreduceInto(Sum, buf)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.PoolStats()
+	}
+	h1, m1 := run()
+	h2, m2 := run()
+	if h1 != h2 || m1 != m2 {
+		t.Fatalf("pool stats vary across identical runs: (%d,%d) vs (%d,%d)", h1, m1, h2, m2)
+	}
+	if h1 == 0 {
+		t.Fatal("no pool hits in a repeated allreduce")
+	}
+}
+
+func TestEagerAndRendezvousAccounting(t *testing.T) {
+	big := DefaultRendezvousThreshold / 8 // floats: exactly at the threshold
+	w, err := NewWorldWithConfig(2, Config{ChannelDepth: testDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3}) // copied: eager
+			own := c.AcquireF64(big)
+			own[0] = 42
+			c.SendOwned(1, 1, own) // ownership transfer: rendezvous
+		} else {
+			c.ReleaseF64(c.Recv(0, 0))
+			got := c.Recv(0, 1)
+			if got[0] != 42 {
+				return fmt.Errorf("owned payload corrupted: %v", got[0])
+			}
+			c.ReleaseF64(got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obs.NewSnapshot()
+	w.Collect(s)
+	if got := s.Counter("mpi.msgs.eager"); got != 1 {
+		t.Errorf("mpi.msgs.eager = %d, want 1", got)
+	}
+	if got := s.Counter("mpi.msgs.rendezvous"); got != 1 {
+		t.Errorf("mpi.msgs.rendezvous = %d, want 1", got)
+	}
+}
+
+func TestSendOwnedTransfersBackingArray(t *testing.T) {
+	w, err := NewWorldWithConfig(2, Config{ChannelDepth: testDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sentPtr, gotPtr *float64
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := c.AcquireF64(16)
+			sentPtr = &buf[0]
+			c.SendOwned(1, 0, buf)
+		} else {
+			got := c.Recv(0, 0)
+			gotPtr = &got[0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sentPtr != gotPtr {
+		t.Fatal("SendOwned copied the payload instead of transferring it")
+	}
+}
+
+func TestCollectiveByteAccounting(t *testing.T) {
+	w, err := NewWorldWithConfig(4, Config{ChannelDepth: testDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		buf := make([]float64, 32)
+		c.AllreduceInto(Sum, buf)
+		if c.Rank() == 0 {
+			c.Send(1, 9, make([]float64, 10))
+		} else if c.Rank() == 1 {
+			c.ReleaseF64(c.Recv(0, 9))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obs.NewSnapshot()
+	w.Collect(s)
+	if got := s.Counter("mpi.bytes.p2p"); got != 80 {
+		t.Errorf("mpi.bytes.p2p = %d, want 80", got)
+	}
+	if got := s.Counter("mpi.bytes.allreduce"); got == 0 {
+		t.Error("allreduce traffic not attributed to mpi.bytes.allreduce")
+	}
+	var byCtx uint64
+	for _, name := range ctxNames {
+		byCtx += s.Counter("mpi.bytes." + name)
+	}
+	if byCtx != uint64(w.TotalBytes()) {
+		t.Errorf("per-collective bytes sum to %d, world total is %d", byCtx, w.TotalBytes())
+	}
+}
+
+func TestWatchdogBreaksDeadlockWithDiagnostic(t *testing.T) {
+	w, err := NewWorldWithConfig(2, Config{
+		WatchdogTimeout: 50 * time.Millisecond,
+		ChannelDepth:    testDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Recv(1, 42) // never sent: rank 1 exits immediately
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched recv did not error")
+	}
+	for _, want := range []string{"watchdog", "rank 0", "recv(src=1, tag=42)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q missing from error: %v", want, err)
+		}
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	// A slow-but-progressing program must not trip the watchdog: the
+	// timer watches message progress, not wall time of the whole run.
+	w, err := NewWorldWithConfig(2, Config{
+		WatchdogTimeout: 100 * time.Millisecond,
+		ChannelDepth:    testDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		for i := 0; i < 4; i++ {
+			time.Sleep(40 * time.Millisecond)
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("healthy run tripped the watchdog: %v", err)
+	}
+}
+
+// fanInTime runs a p-rank fan-in of n floats per sender to rank 0 and
+// returns the makespan.
+func fanInTime(t *testing.T, p, n int, contended bool) float64 {
+	t.Helper()
+	f := netsim.FastEthernet()
+	f.PortContention = contended
+	w, err := NewWorldWithConfig(p, Config{Fabric: f, ChannelDepth: testDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for src := 1; src < p; src++ {
+				c.ReleaseF64(c.Recv(src, 0))
+			}
+		} else {
+			c.Send(0, 0, make([]float64, n))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.MaxTime()
+}
+
+func TestPortContentionSerializesFanIn(t *testing.T) {
+	const p, n = 8, 1 << 12
+	on := fanInTime(t, p, n, true)
+	off := fanInTime(t, p, n, false)
+	if on <= off {
+		t.Fatalf("contended fan-in (%g) not slower than uncontended (%g)", on, off)
+	}
+	// The emergent contended time must equal the analytical fan-in
+	// exactly: p-1 simultaneous arrivals serialized by one egress port.
+	f := netsim.FastEthernet()
+	f.PortContention = true
+	want := f.FanIn(p, n*8)
+	if math.Abs(on-want)/want > 1e-9 {
+		t.Fatalf("contended fan-in %g, analytical %g", on, want)
+	}
+}
+
+func TestContentionOffMatchesLegacyWorld(t *testing.T) {
+	// With the flag off the substrate must reproduce the historical
+	// uncontended model bit-for-bit.
+	legacy := func() float64 {
+		w, err := NewWorld(6, netsim.FastEthernet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				for src := 1; src < 6; src++ {
+					c.ReleaseF64(c.Recv(src, 0))
+				}
+			} else {
+				c.Send(0, 0, make([]float64, 512))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	if got, want := fanInTime(t, 6, 512, false), legacy(); got > want || got < want {
+		t.Fatalf("uncontended fan-in %v differs from legacy model %v",
+			math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+func TestContentionDelayRecorded(t *testing.T) {
+	f := netsim.FastEthernet()
+	f.PortContention = true
+	w, err := NewWorldWithConfig(4, Config{Fabric: f, ChannelDepth: testDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for src := 1; src < 4; src++ {
+				c.ReleaseF64(c.Recv(src, 0))
+			}
+		} else {
+			c.Send(0, 0, make([]float64, 1024))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obs.NewSnapshot()
+	w.Collect(s)
+	d, ok := s.Lookup("mpi.contention.delay")
+	if !ok || d.Float <= 0 {
+		t.Fatalf("mpi.contention.delay = %v (present=%v), want > 0", d.Float, ok)
+	}
+}
+
+func TestNativeBcastAllSizesAllRoots(t *testing.T) {
+	// Small segments force the pipelined ring through many segments.
+	for _, p := range worldSizes() {
+		for root := 0; root < p; root++ {
+			w, err := NewWorldWithConfig(p, Config{
+				Native: true, SegmentBytes: 256, ChannelDepth: testDepth,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = w.Run(func(c *Comm) error {
+				const n = 200 // 1600 B: several 256 B segments
+				buf := make([]float64, n)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float64(root*1000 + i)
+					}
+				}
+				c.BcastInto(root, buf)
+				for i := range buf {
+					if buf[i] != float64(root*1000+i) {
+						return fmt.Errorf("rank %d buf[%d] = %v", c.Rank(), i, buf[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestNativeAllreduceCorrectAndBitIdenticalAcrossRanks(t *testing.T) {
+	// Non-power-of-two sizes exercise the recursive-doubling fold-in
+	// scheme; the irrational-ish values exercise FP non-associativity, so
+	// cross-rank equality only holds if every rank evaluates the same
+	// reduction tree.
+	for _, p := range worldSizes() {
+		w, err := NewWorldWithConfig(p, Config{Native: true, ChannelDepth: testDepth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 33
+		results := make([][]float64, p)
+		err = w.Run(func(c *Comm) error {
+			buf := make([]float64, n)
+			for i := range buf {
+				buf[i] = 1.0 / float64(c.Rank()+i+1)
+			}
+			c.AllreduceInto(Sum, buf)
+			results[c.Rank()] = buf
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for r := 1; r < p; r++ {
+			for i := range results[0] {
+				if math.Float64bits(results[r][i]) != math.Float64bits(results[0][i]) {
+					t.Fatalf("p=%d: rank %d element %d differs from rank 0: %v vs %v",
+						p, r, i, results[r][i], results[0][i])
+				}
+			}
+		}
+		// Sanity: within FP tolerance of the ideal sum.
+		for i := 0; i < n; i++ {
+			var want float64
+			for r := 0; r < p; r++ {
+				want += 1.0 / float64(r+i+1)
+			}
+			if math.Abs(results[0][i]-want) > 1e-12*math.Abs(want) {
+				t.Fatalf("p=%d element %d: %v vs %v", p, i, results[0][i], want)
+			}
+		}
+	}
+}
+
+func TestNativeAllreduceMaxMin(t *testing.T) {
+	for _, p := range []int{3, 8, 13} {
+		w, err := NewWorldWithConfig(p, Config{Native: true, ChannelDepth: testDepth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Comm) error {
+			v := []float64{float64(c.Rank()), -float64(c.Rank())}
+			got := c.Allreduce(Max, v)
+			if got[0] != float64(p-1) || got[1] != 0 {
+				return fmt.Errorf("max: %v", got)
+			}
+			got = c.Allreduce(Min, v)
+			if got[0] != 0 || got[1] != -float64(p-1) {
+				return fmt.Errorf("min: %v", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// collectiveTime runs one collective on a fresh world and returns the
+// emergent makespan.
+func collectiveTime(t *testing.T, p, n int, native bool, body func(c *Comm, buf []float64)) float64 {
+	t.Helper()
+	w, err := NewWorldWithConfig(p, Config{
+		Fabric: netsim.FastEthernet(), Native: native, ChannelDepth: testDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		buf := make([]float64, n)
+		for i := range buf {
+			buf[i] = float64(c.Rank() + i)
+		}
+		body(c, buf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.MaxTime()
+}
+
+func TestEmergentTimesTrackAnalyticalFormulas(t *testing.T) {
+	// The virtual times that emerge from the message-by-message
+	// simulation must track netsim's closed-form estimates across rank
+	// counts and payload sizes, for both the classic and the native
+	// algorithms. The windows are deliberately loose for the classic
+	// tree algorithms (the formulas idealize away relay serialization)
+	// and tighter for the native ones, which mirror their formulas.
+	fab := netsim.FastEthernet()
+	sizes := []int{8, 1 << 10, 64 << 10, 4 << 20}
+	if testing.Short() {
+		sizes = sizes[:3]
+	}
+	for _, p := range []int{2, 4, 8, 16, 24, 32} {
+		for _, bytes := range sizes {
+			n := bytes / 8
+			type tc struct {
+				name     string
+				got      float64
+				want     float64
+				lo, hi   float64
+			}
+			cases := []tc{
+				{"allreduce/classic",
+					collectiveTime(t, p, n, false, func(c *Comm, buf []float64) { c.AllreduceInto(Sum, buf) }),
+					fab.Allreduce(p, bytes), 0.25, 2.0},
+				{"allreduce/native",
+					collectiveTime(t, p, n, true, func(c *Comm, buf []float64) { c.AllreduceInto(Sum, buf) }),
+					fab.AllreduceRecDbl(p, bytes), 0.5, 1.6},
+				{"bcast/classic",
+					collectiveTime(t, p, n, false, func(c *Comm, buf []float64) { c.BcastInto(0, buf) }),
+					fab.Bcast(p, bytes), 0.25, 2.0},
+				{"bcast/native",
+					collectiveTime(t, p, n, true, func(c *Comm, buf []float64) { c.BcastInto(0, buf) }),
+					fab.BcastPipelined(p, bytes, DefaultSegmentBytes), 0.5, 1.6},
+			}
+			for _, c := range cases {
+				if c.got < c.want*c.lo || c.got > c.want*c.hi {
+					t.Errorf("p=%d bytes=%d %s: emergent %.3g vs analytical %.3g (ratio %.2f)",
+						p, bytes, c.name, c.got, c.want, c.got/c.want)
+				}
+			}
+		}
+	}
+}
+
+func TestPooledDisabledCollectivesBitIdentical(t *testing.T) {
+	// Pooling is a pure transport optimization: every collective must
+	// produce bitwise-identical results and virtual times without it.
+	run := func(disable bool) (bits []uint64, maxT float64) {
+		w, err := NewWorldWithConfig(9, Config{
+			Fabric: netsim.FastEthernet(), DisablePool: disable, ChannelDepth: testDepth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]float64, 9)
+		err = w.Run(func(c *Comm) error {
+			buf := make([]float64, 50)
+			for i := range buf {
+				buf[i] = math.Sqrt(float64(c.Rank()*100 + i + 2))
+			}
+			c.AllreduceInto(Sum, buf)
+			c.BcastInto(3, buf)
+			c.ReduceInto(0, Sum, buf)
+			all := c.Allgather(buf[:5])
+			var s float64
+			for _, row := range all {
+				for _, v := range row {
+					s += v
+				}
+			}
+			for _, v := range buf {
+				s += v
+			}
+			sums[c.Rank()] = s
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits = make([]uint64, 9)
+		for i, v := range sums {
+			bits[i] = math.Float64bits(v)
+		}
+		return bits, w.MaxTime()
+	}
+	pb, pt := run(false)
+	ub, ut := run(true)
+	if math.Float64bits(pt) != math.Float64bits(ut) {
+		t.Fatalf("makespan differs: pooled %v vs unpooled %v", pt, ut)
+	}
+	for i := range pb {
+		if pb[i] != ub[i] {
+			t.Fatalf("rank %d results differ: pooled %x vs unpooled %x", i, pb[i], ub[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewWorldWithConfig(0, Config{}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	bad := netsim.FastEthernet()
+	bad.ReduceOpSecPerElem = -1
+	if _, err := NewWorldWithConfig(2, Config{Fabric: bad}); err == nil {
+		t.Fatal("negative reduce-op cost accepted")
+	}
+}

@@ -49,10 +49,13 @@ func ParallelEP(w *mpi.World, class Class, costs cpu.EffCosts) (*ParallelResult,
 			mix := epPairMix(count, uint64(out.Pairs))
 			c.AddCompute(costs.Seconds(mix))
 		}
-		// Reduce sums and annulus counts (the NPB EP communication).
-		buf := []float64{out.SX, out.SY, out.Pairs}
-		buf = append(buf, out.Q[:]...)
-		sums[c.Rank()] = c.Allreduce(mpi.Sum, buf)
+		// Reduce sums and annulus counts (the NPB EP communication),
+		// in place in a pooled buffer.
+		buf := c.AcquireF64(3 + len(out.Q))
+		buf[0], buf[1], buf[2] = out.SX, out.SY, out.Pairs
+		copy(buf[3:], out.Q[:])
+		c.AllreduceInto(mpi.Sum, buf)
+		sums[c.Rank()] = buf
 		return nil
 	})
 	if err != nil {
@@ -125,8 +128,9 @@ func ParallelIS(w *mpi.World, class Class, costs cpu.EffCosts) (*ParallelResult,
 		for _, k := range keys {
 			hist[k]++
 		}
-		// Global bucket counts.
-		global := c.Allreduce(mpi.Sum, hist)
+		// Global bucket counts, reduced in place.
+		c.AllreduceInto(mpi.Sum, hist)
+		global := hist
 
 		// Bucket boundaries: contiguous key ranges with ~n/p keys each.
 		bounds := bucketBounds(global, p, n)
@@ -144,6 +148,7 @@ func ParallelIS(w *mpi.World, class Class, costs cpu.EffCosts) (*ParallelResult,
 		var mine []int64
 		for _, part := range recv {
 			mine = append(mine, part...)
+			c.ReleaseI64(part) // recycle the wire buffers
 		}
 		// Local counting sort within the rank's key range.
 		lo := int64(bounds[r])

@@ -28,6 +28,19 @@ type Fabric struct {
 	// StoreAndForward adds a full serialization delay per intermediate
 	// hop, as a 2001-era store-and-forward switch does.
 	StoreAndForward bool
+	// ReduceOpSecPerElem is the per-element combining cost (seconds per
+	// 8-byte element, per tree level) a reduction pays on top of the
+	// message transfer — what separates Reduce from Bcast, which moves
+	// the same bytes but combines nothing.
+	ReduceOpSecPerElem float64
+	// PortContention enables the per-port occupancy model in the MPI
+	// layer's virtual clock: the switch's store-and-forward egress port
+	// serializes concurrent senders to one destination, so fan-in
+	// traffic queues instead of landing simultaneously. Off by default
+	// so historical (uncontended) numbers stay reproducible bit-for-bit.
+	// The analytical formulas that depend on it (FanIn, BcastPipelined)
+	// take it into account; the classic formulas are unchanged.
+	PortContention bool
 }
 
 // FastEthernet returns the paper's fabric: 100 Mb/s switched Ethernet with
@@ -40,6 +53,8 @@ func FastEthernet() *Fabric {
 		HopLatency:       5e-6,
 		Hops:             2,
 		StoreAndForward:  true,
+		// ~80 Mop/s summing rate for the era's node CPU.
+		ReduceOpSecPerElem: 12.5e-9,
 	}
 }
 
@@ -71,6 +86,9 @@ func (f *Fabric) Validate() error {
 	if f.Hops < 1 {
 		return fmt.Errorf("netsim: %s: hops must be ≥ 1", f.Name)
 	}
+	if f.ReduceOpSecPerElem < 0 {
+		return fmt.Errorf("netsim: %s: negative reduce op cost", f.Name)
+	}
 	return nil
 }
 
@@ -86,6 +104,11 @@ func (f *Fabric) serialize(bytes int) float64 {
 	wireBytes := float64(bytes) + frames*78 // header + preamble + gap
 	return wireBytes * 8 / f.BandwidthBps
 }
+
+// SerializeTime returns the single-link wire time for a payload of the
+// given size — the occupancy one message imposes on a switch egress port,
+// which is what the contention model charges queued senders.
+func (f *Fabric) SerializeTime(bytes int) float64 { return f.serialize(bytes) }
 
 // PointToPoint returns the end-to-end time for one message of the given
 // payload size between two nodes.
@@ -121,9 +144,17 @@ func (f *Fabric) Bcast(p, bytes int) float64 {
 }
 
 // Reduce returns the time for a binomial-tree reduction of bytes to a
-// root. Identical in structure to Bcast; per-element combine cost is paid
-// by the compute model, not the fabric.
-func (f *Fabric) Reduce(p, bytes int) float64 { return f.Bcast(p, bytes) }
+// root: the same message structure as Bcast, plus the per-level
+// elementwise combining cost (ReduceOpSecPerElem per 8-byte element) a
+// receiving node pays before relaying its partial result up the tree.
+func (f *Fabric) Reduce(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	combine := f.ReduceOpSecPerElem * float64(bytes) / 8
+	return rounds * (f.PointToPoint(bytes) + combine)
+}
 
 // Allreduce returns reduce + broadcast (the MPICH-era algorithm on
 // Ethernet for small and medium payloads).
@@ -152,6 +183,66 @@ func (f *Fabric) AllToAll(p, bytes int) float64 {
 		return 0
 	}
 	return float64(p-1) * f.PointToPoint(bytes)
+}
+
+// FanIn returns the time for p-1 nodes to deliver bytes each to a single
+// destination. Without port contention every message lands after one
+// uncontended PointToPoint; with the occupancy model the egress port
+// serializes them, so the last message queues behind the other p-2.
+func (f *Fabric) FanIn(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	t := f.PointToPoint(bytes)
+	if f.PortContention {
+		t += float64(p-2) * f.serialize(bytes)
+	}
+	return t
+}
+
+// AllreduceRecDbl returns the time for the native recursive-doubling
+// allreduce: log2(q) pairwise exchange rounds over the largest
+// power-of-two subset q, plus a fold-in and copy-out round when p is not
+// a power of two, with the per-element combine cost paid each round.
+func (f *Fabric) AllreduceRecDbl(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	q := 1
+	rounds := 0.0
+	for q*2 <= p {
+		q *= 2
+		rounds++
+	}
+	combine := f.ReduceOpSecPerElem * float64(bytes) / 8
+	t := rounds * (f.PointToPoint(bytes) + combine)
+	if p > q {
+		t += 2*f.PointToPoint(bytes) + combine
+	}
+	return t
+}
+
+// BcastPipelined returns the time for the native pipelined ring
+// broadcast with the given segment size: the first segment crosses p-1
+// ring hops, and each further segment follows one gap behind —
+// the per-message software overhead when ports are uncontended, or the
+// segment's port occupancy once the contention model serializes
+// back-to-back segments into the same port.
+func (f *Fabric) BcastPipelined(p, bytes, segBytes int) float64 {
+	if p <= 1 || bytes <= 0 {
+		return 0
+	}
+	if segBytes <= 0 || segBytes > bytes {
+		segBytes = bytes
+	}
+	nseg := math.Ceil(float64(bytes) / float64(segBytes))
+	gap := f.SoftwareOverhead / 2
+	if f.PortContention {
+		if s := f.serialize(segBytes); s > gap {
+			gap = s
+		}
+	}
+	return float64(p-1)*f.PointToPoint(segBytes) + (nseg-1)*gap
 }
 
 // EffectiveBandwidth reports the achieved payload bandwidth (bytes/s) for

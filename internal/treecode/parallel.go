@@ -162,11 +162,18 @@ type ParallelResult struct {
 // encodeSources flattens sources for the wire (x, y, z, m per source;
 // imported sources become pseudo-particles — Index is never remote-valid).
 func encodeSources(srcs []Source) []float64 {
-	out := make([]float64, 0, 4*len(srcs))
-	for _, s := range srcs {
-		out = append(out, s.X, s.Y, s.Z, s.M)
-	}
+	out := make([]float64, 4*len(srcs))
+	encodeSourcesInto(srcs, out)
 	return out
+}
+
+// encodeSourcesInto flattens sources into a caller buffer of length
+// 4·len(srcs) — typically one drawn from the rank's pool, handed to
+// SendOwned for a copy-free exchange.
+func encodeSourcesInto(srcs []Source, out []float64) {
+	for i, s := range srcs {
+		out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = s.X, s.Y, s.Z, s.M
+	}
 }
 
 func decodeSources(data []float64) ([]Source, error) {
@@ -218,12 +225,18 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 			local[i] = Source{X: s.X[pi], Y: s.Y[pi], Z: s.Z[pi], M: s.M[pi], Index: pi}
 			xs[i], ys[i], zs[i] = s.X[pi], s.Y[pi], s.Z[pi]
 		}
-		// Exchange domain bounding boxes (allgather of 4 floats).
+		// Exchange domain bounding boxes (allgather of 4 floats, into a
+		// flat pooled buffer: boxes[4r..4r+3] is rank r's box).
 		var myBox Box
 		if len(mine) > 0 {
 			myBox, _ = BoundingBox(xs, ys, zs)
 		}
-		boxes := c.Allgather([]float64{myBox.CX, myBox.CY, myBox.CZ, myBox.Half})
+		myBoxBuf := c.AcquireF64(4)
+		myBoxBuf[0], myBoxBuf[1], myBoxBuf[2], myBoxBuf[3] = myBox.CX, myBox.CY, myBox.CZ, myBox.Half
+		boxes := c.AcquireF64(4 * c.Size())
+		c.AllgatherInto(myBoxBuf, boxes)
+		c.ReleaseF64(myBoxBuf)
+		defer c.ReleaseF64(boxes)
 
 		// Local tree for LET construction. (The error must stay
 		// rank-local: assigning the enclosing err from every rank
@@ -249,14 +262,20 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 			src := (c.Rank() - step + p) % p
 			var export []Source
 			if localTree != nil {
-				rb := boxes[dst]
+				rb := boxes[4*dst : 4*dst+4]
 				remote := Box{CX: rb[0], CY: rb[1], CZ: rb[2], Half: rb[3]}
 				if remote.Half > 0 || len(parts[dst]) > 0 {
 					export = localTree.letExport(remote, cfg.Theta)
 				}
 			}
-			c.Send(dst, step, encodeSources(export))
-			in, err := decodeSources(c.Recv(src, step))
+			// Encode into a pooled buffer and hand it over copy-free; the
+			// received buffer goes back to the pool once decoded.
+			out := c.AcquireF64(4 * len(export))
+			encodeSourcesInto(export, out)
+			c.SendOwned(dst, step, out)
+			wire := c.Recv(src, step)
+			in, err := decodeSources(wire)
+			c.ReleaseF64(wire)
 			if err != nil {
 				return err
 			}
