@@ -320,6 +320,48 @@ func BenchmarkTreecodeTheta(b *testing.B) {
 	}
 }
 
+// BenchmarkForceEngines races the three force-evaluation engines —
+// the recursive walk, the bit-identical interaction-list engine, and
+// the amortized group walk — single-threaded over a prebuilt tree, at
+// the two sizes EXPERIMENTS.md records (one op = a full force sweep).
+func BenchmarkForceEngines(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		sys := nbody.NewPlummer(n, 1, 2001)
+		tr, err := treecode.Build(treecode.SourcesFromSystem(sys), treecode.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st treecode.Stats
+		b.Run(fmt.Sprintf("recursive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					sys.AX[j], sys.AY[j], sys.AZ[j] = tr.ForceAtRecursive(sys.X[j], sys.Y[j], sys.Z[j], j, 0.7, sys.Eps, &st)
+				}
+			}
+		})
+		ar := treecode.NewWalkArena()
+		b.Run(fmt.Sprintf("list/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					sys.AX[j], sys.AY[j], sys.AZ[j] = tr.ForceAtList(sys.X[j], sys.Y[j], sys.Z[j], j, 0.7, sys.Eps, &st, ar)
+				}
+			}
+		})
+		groups := tr.AppendGroups(nil, treecode.DefaultGroupSize)
+		b.Run(fmt.Sprintf("groupwalk/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, li := range groups {
+					tr.GroupForceLeaf(li, 0.7, sys.Eps, ar, &st)
+					for k := 0; k < ar.NumTargets(); k++ {
+						j, ax, ay, az := ar.Target(k)
+						sys.AX[j], sys.AY[j], sys.AZ[j] = ax, ay, az
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDirectVsTree locates the O(N²)/O(N log N) crossover.
 func BenchmarkDirectVsTree(b *testing.B) {
 	for _, n := range []int{100, 300, 1000, 3000} {

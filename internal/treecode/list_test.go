@@ -1,0 +1,286 @@
+package treecode
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+)
+
+// sweepRecursive / sweepList evaluate forces for every particle with
+// the two engines, returning packed accelerations and stats.
+func sweepRecursive(tr *Tree, s *nbody.System, theta float64) ([]float64, Stats) {
+	var st Stats
+	out := make([]float64, 3*s.N())
+	for i := 0; i < s.N(); i++ {
+		ax, ay, az := tr.ForceAtRecursive(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &st)
+		out[3*i], out[3*i+1], out[3*i+2] = ax, ay, az
+	}
+	return out, st
+}
+
+func sweepList(tr *Tree, s *nbody.System, theta float64) ([]float64, Stats) {
+	var st Stats
+	ar := NewWalkArena()
+	out := make([]float64, 3*s.N())
+	for i := 0; i < s.N(); i++ {
+		ax, ay, az := tr.ForceAtList(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &st, ar)
+		out[3*i], out[3*i+1], out[3*i+2] = ax, ay, az
+	}
+	return out, st
+}
+
+func bitsEqual(a, b []float64) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestListEngineBitIdentical is the golden equivalence grid: the list
+// engine must reproduce the recursive walk bit for bit — and count the
+// same interactions — across theta, eps, quadrupole and bucket sizes.
+// Floats are compared by their bit patterns: the segment-encoded
+// interaction lists replay the recursion's exact accumulation order, so
+// any reordering of float additions fails here.
+func TestListEngineBitIdentical(t *testing.T) {
+	s := nbody.NewPlummer(2000, 1, 7)
+	for _, quad := range []bool{false, true} {
+		for _, bucket := range []int{1, 8, 16} {
+			tr := buildFromSystem(t, s, BuildOptions{Bucket: bucket, Quadrupole: quad})
+			for _, theta := range []float64{0.3, 0.7, 1.0} {
+				for _, eps := range []float64{0, 0.05} {
+					sys := *s
+					sys.Eps = eps
+					ref, refSt := sweepRecursive(tr, &sys, theta)
+					got, gotSt := sweepList(tr, &sys, theta)
+					if i := bitsEqual(ref, got); i >= 0 {
+						t.Fatalf("quad=%v bucket=%d theta=%g eps=%g: component %d differs: %g vs %g",
+							quad, bucket, theta, eps, i, ref[i], got[i])
+					}
+					if refSt != gotSt {
+						t.Fatalf("quad=%v bucket=%d theta=%g eps=%g: stats differ: %+v vs %+v",
+							quad, bucket, theta, eps, refSt, gotSt)
+					}
+					if refSt.PP == 0 || refSt.PC == 0 {
+						t.Fatalf("degenerate sweep: %+v", refSt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForceAtWrapperMatchesList pins the thin ForceAt wrapper (pooled
+// arena) to the list engine's results.
+func TestForceAtWrapperMatchesList(t *testing.T) {
+	s := nbody.NewPlummer(500, 1, 11)
+	tr := buildFromSystem(t, s, BuildOptions{Quadrupole: true})
+	ar := NewWalkArena()
+	for i := 0; i < s.N(); i += 17 {
+		var st1, st2 Stats
+		ax1, ay1, az1 := tr.ForceAt(s.X[i], s.Y[i], s.Z[i], i, 0.7, s.Eps, &st1)
+		ax2, ay2, az2 := tr.ForceAtList(s.X[i], s.Y[i], s.Z[i], i, 0.7, s.Eps, &st2, ar)
+		if ax1 != ax2 || ay1 != ay2 || az1 != az2 || st1 != st2 {
+			t.Fatalf("particle %d: wrapper (%g,%g,%g %+v) != list (%g,%g,%g %+v)",
+				i, ax1, ay1, az1, st1, ax2, ay2, az2, st2)
+		}
+	}
+}
+
+// forcerAccels runs one Forces call and returns the acceleration
+// arrays and the call's stats.
+func forcerAccels(t *testing.T, f *Forcer, n int) ([]float64, Stats) {
+	t.Helper()
+	s := nbody.NewPlummer(n, 1, 99)
+	if err := f.Forces(s); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.AX[i], s.AY[i], s.AZ[i])
+	}
+	return out, f.LastStats
+}
+
+// TestForcerEnginesBitIdentical asserts the Forcer produces the same
+// bits under both per-particle engines.
+func TestForcerEnginesBitIdentical(t *testing.T) {
+	const n = 3000
+	ref, refSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: EngineRecursive, Workers: 1}, n)
+	for _, quadWorkers := range []int{1, 4} {
+		got, gotSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: EngineList, Workers: quadWorkers}, n)
+		if i := bitsEqual(ref, got); i >= 0 {
+			t.Fatalf("workers=%d: component %d differs from recursive engine", quadWorkers, i)
+		}
+		if refSt != gotSt {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", quadWorkers, refSt, gotSt)
+		}
+	}
+}
+
+// TestListWorkersBitIdentical is the par-pool determinism contract for
+// the interaction-list engine: workers 1, 2 and 8 must produce
+// bit-identical accelerations and identical Stats{PP,PC}. CI runs this
+// under -race, so it also proves the per-worker arenas never share.
+func TestListWorkersBitIdentical(t *testing.T) {
+	const n = 6000
+	for _, group := range []bool{false, true} {
+		ref, refSt := forcerAccels(t, &Forcer{Theta: 0.7, GroupWalk: group, Workers: 1}, n)
+		for _, w := range []int{2, 8} {
+			got, gotSt := forcerAccels(t, &Forcer{Theta: 0.7, GroupWalk: group, Workers: w}, n)
+			if i := bitsEqual(ref, got); i >= 0 {
+				t.Fatalf("group=%v workers=%d: component %d differs from serial", group, w, i)
+			}
+			if refSt != gotSt {
+				t.Fatalf("group=%v workers=%d: stats differ: %+v vs %+v", group, w, refSt, gotSt)
+			}
+		}
+	}
+}
+
+// rmsError returns the RMS acceleration error of f against direct
+// summation over every particle.
+func rmsError(s *nbody.System, acc []float64) float64 {
+	n := s.N()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		var ax, ay, az float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := s.X[j] - s.X[i]
+			dy := s.Y[j] - s.Y[i]
+			dz := s.Z[j] - s.Z[i]
+			r2 := dx*dx + dy*dy + dz*dz + s.Eps*s.Eps
+			rinv := 1 / math.Sqrt(r2)
+			f := s.M[j] * rinv * rinv * rinv
+			ax += f * dx
+			ay += f * dy
+			az += f * dz
+		}
+		ex := acc[3*i] - ax
+		ey := acc[3*i+1] - ay
+		ez := acc[3*i+2] - az
+		num += ex*ex + ey*ey + ez*ez
+		den += ax*ax + ay*ay + az*az
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestGroupWalkAccuracyBounded: the group MAC is strictly more
+// conservative than the per-particle MAC (it evaluates the criterion at
+// the worst-case point of the target leaf's box), so the group engine
+// only ever opens more cells — its RMS error against direct summation
+// must stay within a whisker of the per-particle walk's.
+func TestGroupWalkAccuracyBounded(t *testing.T) {
+	const n = 4000
+	s := nbody.NewPlummer(n, 1, 5)
+	tr := buildFromSystem(t, s, BuildOptions{})
+
+	rec, recSt := sweepRecursive(tr, s, 0.7)
+	grp := make([]float64, 3*n)
+	var grpSt Stats
+	ar := NewWalkArena()
+	for _, li := range tr.AppendLeaves(nil) {
+		tr.GroupForceLeaf(li, 0.7, s.Eps, ar, &grpSt)
+		for k := 0; k < ar.NumTargets(); k++ {
+			i, ax, ay, az := ar.Target(k)
+			grp[3*i], grp[3*i+1], grp[3*i+2] = ax, ay, az
+		}
+	}
+
+	recRMS := rmsError(s, rec)
+	grpRMS := rmsError(s, grp)
+	t.Logf("theta=0.7 n=%d: recursive RMS=%.3e (%d interactions), groupwalk RMS=%.3e (%d interactions)",
+		n, recRMS, recSt.Interactions(), grpRMS, grpSt.Interactions())
+	if grpRMS > recRMS*1.05+1e-12 {
+		t.Fatalf("group walk less accurate than per-particle walk: RMS %.3e vs %.3e", grpRMS, recRMS)
+	}
+	// Conservativeness also means at least as much work is evaluated
+	// exactly: the group walk cannot do fewer PP interactions.
+	if grpSt.PP < recSt.PP {
+		t.Fatalf("group walk did fewer PP interactions than per-particle: %d vs %d", grpSt.PP, recSt.PP)
+	}
+}
+
+// TestGroupWalkTelemetrySavings: a bucketed tree must record saved
+// traversals (every target beyond the first per leaf).
+func TestGroupWalkTelemetrySavings(t *testing.T) {
+	before := listGroupSaved.Value()
+	f := &Forcer{Theta: 0.7, GroupWalk: true, Workers: 1}
+	s := nbody.NewPlummer(2000, 1, 3)
+	if err := f.Forces(s); err != nil {
+		t.Fatal(err)
+	}
+	saved := listGroupSaved.Value() - before
+	if saved == 0 {
+		t.Fatal("group walk over a bucketed tree saved no traversals")
+	}
+	if saved >= uint64(s.N()) {
+		t.Fatalf("savings %d exceed particle count %d", saved, s.N())
+	}
+}
+
+// TestArenaReuseTelemetry: a second Forces call on the same Forcer must
+// reuse its per-worker arenas and say so in the counters.
+func TestArenaReuseTelemetry(t *testing.T) {
+	f := &Forcer{Theta: 0.7, Workers: 2}
+	s := nbody.NewPlummer(1500, 1, 21)
+	if err := f.Forces(s); err != nil {
+		t.Fatal(err)
+	}
+	before := listArenaReuse.Value()
+	if err := f.Forces(s); err != nil {
+		t.Fatal(err)
+	}
+	if reused := listArenaReuse.Value() - before; reused < 2 {
+		t.Fatalf("second Forces call reused %d arenas, want >= 2", reused)
+	}
+}
+
+// TestParseEngine covers the flag parser and the default.
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+	}{{"", EngineList}, {"list", EngineList}, {"recursive", EngineRecursive}} {
+		got, err := ParseEngine(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseEngine("turbo"); err == nil {
+		t.Fatal("ParseEngine accepted an unknown engine")
+	}
+	if EngineList.String() != "list" || EngineRecursive.String() != "recursive" {
+		t.Fatal("engine names drifted from the flag spellings")
+	}
+}
+
+// TestMinDist2MatchesMinDist pins the squared-distance helper to its
+// sqrt counterpart.
+func TestMinDist2MatchesMinDist(t *testing.T) {
+	b := Box{CX: 1, CY: -2, CZ: 0.5, Half: 0.25}
+	pts := [][3]float64{{1, -2, 0.5}, {2, -2, 0.5}, {0, 0, 0}, {1.25, -1.75, 0.75}, {-3, 4, 9}}
+	for _, p := range pts {
+		d := b.MinDist(p[0], p[1], p[2])
+		d2 := b.MinDist2(p[0], p[1], p[2])
+		if math.Abs(d*d-d2) > 1e-12*(1+d2) {
+			t.Fatalf("MinDist²=%g vs MinDist2=%g at %v", d*d, d2, p)
+		}
+	}
+	if d2 := boxToBoxDist2(b, Box{CX: 1, CY: -2, CZ: 0.5, Half: 1}); d2 != 0 {
+		t.Fatalf("overlapping boxes have dist2 %g", d2)
+	}
+	d := boxToBoxDist(b, Box{CX: 5, CY: -2, CZ: 0.5, Half: 1})
+	if math.Abs(d-2.75) > 1e-12 {
+		t.Fatalf("boxToBoxDist = %g, want 2.75", d)
+	}
+}

@@ -65,6 +65,12 @@ type ParallelConfig struct {
 	Quadrupole bool
 	Eps        float64
 	Cost       CostModel
+	// Engine selects each rank's force-evaluation engine (the list
+	// engine by default; bit-identical to the recursive walk).
+	Engine Engine
+	// GroupWalk amortizes one traversal per leaf bucket on each rank
+	// (conservative group MAC; RMS-bounded, not bit-identical).
+	GroupWalk bool
 }
 
 // Decompose returns each rank's particle indices: contiguous runs of the
@@ -98,9 +104,11 @@ func Decompose(s *nbody.System, p int) ([][]int, error) {
 	return out, nil
 }
 
-// boxToBoxDist returns the minimum distance between two boxes (0 if they
-// overlap) — the geometry of Salmon's locally-essential-tree pruning.
-func boxToBoxDist(a, b Box) float64 {
+// boxToBoxDist2 returns the squared minimum distance between two boxes
+// (0 if they overlap) — the geometry of Salmon's locally-essential-tree
+// pruning and the group MAC's disjointness guard. The squared form is
+// the primitive; takers of actual distances wrap it in a square root.
+func boxToBoxDist2(a, b Box) float64 {
 	gap := func(ca, ha, cb, hb float64) float64 {
 		d := math.Abs(ca-cb) - ha - hb
 		if d < 0 {
@@ -111,7 +119,13 @@ func boxToBoxDist(a, b Box) float64 {
 	dx := gap(a.CX, a.Half, b.CX, b.Half)
 	dy := gap(a.CY, a.Half, b.CY, b.Half)
 	dz := gap(a.CZ, a.Half, b.CZ, b.Half)
-	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	return dx*dx + dy*dy + dz*dz
+}
+
+// boxToBoxDist returns the minimum distance between two boxes (0 if
+// they overlap).
+func boxToBoxDist(a, b Box) float64 {
+	return math.Sqrt(boxToBoxDist2(a, b))
 }
 
 // letExport walks the local tree and collects the sources a remote domain
@@ -127,8 +141,8 @@ func (t *Tree) letExport(remote Box, theta float64) []Source {
 			return
 		}
 		size := 2 * n.Box.Half
-		d := boxToBoxDist(n.Box, remote)
-		if size < theta*d {
+		d2 := boxToBoxDist2(n.Box, remote)
+		if size*size < theta*theta*d2 {
 			out = append(out, Source{X: n.CX, Y: n.CY, Z: n.CZ, M: n.M, Index: -1})
 			return
 		}
@@ -297,11 +311,38 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 		span(c, "force_build", tb0, map[string]any{"sources": len(sources)})
 		tf0 := c.Now()
 		var st Stats
-		for _, pi := range mine {
-			ax, ay, az := ft.ForceAt(s.X[pi], s.Y[pi], s.Z[pi], pi, cfg.Theta, cfg.Eps, &st)
-			s.AX[pi] = s.G * ax
-			s.AY[pi] = s.G * ay
-			s.AZ[pi] = s.G * az
+		switch {
+		case cfg.GroupWalk:
+			// One traversal per leaf bucket. Imported pseudo-particles
+			// (Index < 0) are sources but never targets, so exactly the
+			// rank's own particles receive accelerations.
+			ar := NewWalkArena()
+			for _, li := range ft.AppendLeaves(nil) {
+				ft.GroupForceLeaf(li, cfg.Theta, cfg.Eps, ar, &st)
+				for k := 0; k < ar.NumTargets(); k++ {
+					pi, ax, ay, az := ar.Target(k)
+					s.AX[pi] = s.G * ax
+					s.AY[pi] = s.G * ay
+					s.AZ[pi] = s.G * az
+				}
+			}
+			ar.FlushTelemetry()
+		case cfg.Engine == EngineRecursive:
+			for _, pi := range mine {
+				ax, ay, az := ft.ForceAtRecursive(s.X[pi], s.Y[pi], s.Z[pi], pi, cfg.Theta, cfg.Eps, &st)
+				s.AX[pi] = s.G * ax
+				s.AY[pi] = s.G * ay
+				s.AZ[pi] = s.G * az
+			}
+		default:
+			ar := NewWalkArena()
+			for _, pi := range mine {
+				ax, ay, az := ft.ForceAtList(s.X[pi], s.Y[pi], s.Z[pi], pi, cfg.Theta, cfg.Eps, &st, ar)
+				s.AX[pi] = s.G * ax
+				s.AY[pi] = s.G * ay
+				s.AZ[pi] = s.G * az
+			}
+			ar.FlushTelemetry()
 		}
 		c.AddCompute(cfg.Cost.SecondsPerInteraction * float64(st.Interactions()))
 		span(c, "forces", tf0, map[string]any{"pp": st.PP, "pc": st.PC})

@@ -13,8 +13,7 @@ func (t *Tree) Neighbors(x, y, z, radius float64, out []int) []int {
 		if n.Count == 0 {
 			return
 		}
-		d := n.Box.MinDist(x, y, z)
-		if d > radius {
+		if n.Box.MinDist2(x, y, z) > r2 {
 			return
 		}
 		if n.Leaf {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/nbody"
 	"repro/internal/obs"
@@ -47,6 +48,13 @@ type Tree struct {
 	Quadrupole bool
 	// MaxDepth bounds subdivision (coincident particles share a leaf).
 	MaxDepth int
+
+	// walkOnce guards the lazily built rope-threaded walk index the
+	// list engine traverses (derived state; see buildWalkIndex).
+	walkOnce sync.Once
+	walk     []walkNode
+	walkB    []Box
+	walkQ    []float64
 }
 
 // BuildOptions configure tree construction.
@@ -383,7 +391,28 @@ func (st Stats) Flops() uint64 { return st.Interactions() * nbody.FlopsPerIntera
 // ForceAt evaluates the softened acceleration at a point using the
 // Barnes–Hut criterion: accept a cell when size/distance < theta. selfIdx
 // excludes one local particle (pass -1 to include everything).
+//
+// ForceAt is a thin wrapper over the list engine with a pooled arena;
+// callers on a hot loop should hold their own WalkArena and call
+// ForceAtList directly (one pool round-trip and telemetry flush per
+// call is the wrapper's only overhead — the results are identical).
 func (t *Tree) ForceAt(x, y, z float64, selfIdx int, theta, eps float64, st *Stats) (ax, ay, az float64) {
+	ar, ok := forceArenas.Get().(*WalkArena)
+	if !ok {
+		ar = NewWalkArena()
+	} else {
+		listArenaReuse.Inc()
+	}
+	ax, ay, az = t.ForceAtList(x, y, z, selfIdx, theta, eps, st, ar)
+	ar.FlushTelemetry()
+	forceArenas.Put(ar)
+	return ax, ay, az
+}
+
+// ForceAtRecursive is the original closure-recursive walk, retained as
+// the bit-exact golden reference the list engine is tested against and
+// as the benchmark baseline (Forcer.Engine = EngineRecursive).
+func (t *Tree) ForceAtRecursive(x, y, z float64, selfIdx int, theta, eps float64, st *Stats) (ax, ay, az float64) {
 	eps2 := eps * eps
 	var walk func(ni int32)
 	walk = func(ni int32) {
@@ -467,15 +496,36 @@ type Forcer struct {
 	// Tracer, when non-nil, records wall-clock spans for the build and
 	// force phases of every call (obs.PidHost).
 	Tracer *obs.Tracer
+	// Engine selects the force-evaluation engine: the list engine by
+	// default (bit-identical to the recursive walk), or EngineRecursive
+	// for the original closure recursion.
+	Engine Engine
+	// GroupWalk amortizes one traversal per leaf bucket with a
+	// conservative group MAC. Off by default: results are RMS-bounded
+	// by the per-particle walk's accuracy, not bit-identical to it.
+	GroupWalk bool
 	// LastStats reports the most recent force computation's work.
 	LastStats Stats
 	// Total accumulates stats across every Forces call on this Forcer
 	// (a multi-step Leapfrog integration sums here).
 	Total Stats
+
+	// arenas are the per-worker walk arenas, grown to the pool width on
+	// first use and reused across Forces calls so the steady-state
+	// force path allocates nothing per walk.
+	arenas []*WalkArena
+	// groups is the reusable group-walk work list.
+	groups []int32
 }
 
-// forceGrain is the per-chunk particle count of the parallel force loop.
-const forceGrain = 512
+// forceGrain is the per-chunk particle count of the parallel force
+// loop; groupGrain is the per-chunk *group* count of the group walk
+// (groups hold up to DefaultGroupSize particles, so chunks stay
+// comparable to forceGrain).
+const (
+	forceGrain = 512
+	groupGrain = 8
+)
 
 // Forces implements nbody.Forcer: builds a fresh tree over the system and
 // fills its acceleration arrays.
@@ -493,31 +543,89 @@ func (f *Forcer) Forces(s *nbody.System) error {
 	sp.End(map[string]any{"sources": len(srcs), "nodes": len(t.Nodes)})
 	pool := par.New(f.Workers)
 	n := s.N()
-	// Per-chunk sharded interaction counters: chunk c owns slot c, the
-	// merge folds slots in slot order, so the counts are race-free and
-	// bit-identical at any worker width (the obs determinism rule).
+	// Grow the per-worker arena set to the pool width; arenas that
+	// survive from a previous Forces call are warm (their buffers keep
+	// capacity), which is what makes the steady-state path alloc-free.
+	width := pool.Width()
+	if reused := min(len(f.arenas), width); reused > 0 {
+		listArenaReuse.Add(uint64(reused))
+	}
+	for len(f.arenas) < width {
+		f.arenas = append(f.arenas, NewWalkArena())
+	}
 	sp = f.Tracer.Begin(obs.PidHost, 0, "treecode", "forces")
-	nc := par.NumChunks(n, forceGrain)
-	pp := obs.NewShardedCounter(nc)
-	pc := obs.NewShardedCounter(nc)
-	pool.ForChunks(n, forceGrain, func(c, lo, hi int) {
-		var st Stats
-		for i := lo; i < hi; i++ {
-			ax, ay, az := t.ForceAt(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &st)
-			s.AX[i] = s.G * ax
-			s.AY[i] = s.G * ay
-			s.AZ[i] = s.G * az
-		}
-		pp.Add(c, st.PP)
-		pc.Add(c, st.PC)
-	})
-	st := Stats{PP: pp.Value(), PC: pc.Value()}
+	var st Stats
+	switch {
+	case f.GroupWalk:
+		st = f.groupForces(t, s, pool, theta)
+	default:
+		// Per-chunk sharded interaction counters: chunk c owns slot c,
+		// the merge folds slots in slot order, so the counts are
+		// race-free and bit-identical at any worker width (the obs
+		// determinism rule). Each walk's result depends only on the
+		// particle, so which worker's arena serves it cannot matter.
+		nc := par.NumChunks(n, forceGrain)
+		pp := obs.NewShardedCounter(nc)
+		pc := obs.NewShardedCounter(nc)
+		recursive := f.Engine == EngineRecursive
+		pool.ForChunksWorker(n, forceGrain, func(w, c, lo, hi int) {
+			ar := f.arenas[w]
+			var cst Stats
+			for i := lo; i < hi; i++ {
+				var ax, ay, az float64
+				if recursive {
+					ax, ay, az = t.ForceAtRecursive(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &cst)
+				} else {
+					ax, ay, az = t.ForceAtList(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &cst, ar)
+				}
+				s.AX[i] = s.G * ax
+				s.AY[i] = s.G * ay
+				s.AZ[i] = s.G * az
+			}
+			pp.Add(c, cst.PP)
+			pc.Add(c, cst.PC)
+		})
+		st = Stats{PP: pp.Value(), PC: pc.Value()}
+	}
+	for _, ar := range f.arenas[:width] {
+		ar.FlushTelemetry()
+	}
 	sp.End(map[string]any{"pp": st.PP, "pc": st.PC})
 	f.LastStats = st
 	f.Total.PP += st.PP
 	f.Total.PC += st.PC
 	s.Interactions += st.Interactions()
 	return nil
+}
+
+// groupForces runs the group-walk engine: the work list is the tree's
+// maximal ≤DefaultGroupSize-particle subtrees, each group shares one
+// traversal, and every particle is a target of exactly one group — so
+// acceleration writes are disjoint, each particle's value is
+// independent of scheduling, and the per-chunk sharded counters keep
+// the stats deterministic at any worker width.
+func (f *Forcer) groupForces(t *Tree, s *nbody.System, pool *par.Pool, theta float64) Stats {
+	f.groups = t.AppendGroups(f.groups[:0], DefaultGroupSize)
+	nl := len(f.groups)
+	nc := par.NumChunks(nl, groupGrain)
+	pp := obs.NewShardedCounter(nc)
+	pc := obs.NewShardedCounter(nc)
+	pool.ForChunksWorker(nl, groupGrain, func(w, c, lo, hi int) {
+		ar := f.arenas[w]
+		var cst Stats
+		for li := lo; li < hi; li++ {
+			t.GroupForceLeaf(f.groups[li], theta, s.Eps, ar, &cst)
+			for k := 0; k < ar.NumTargets(); k++ {
+				i, ax, ay, az := ar.Target(k)
+				s.AX[i] = s.G * ax
+				s.AY[i] = s.G * ay
+				s.AZ[i] = s.G * az
+			}
+		}
+		pp.Add(c, cst.PP)
+		pc.Add(c, cst.PC)
+	})
+	return Stats{PP: pp.Value(), PC: pc.Value()}
 }
 
 // SourcesFromSystem converts a system's particles to sources.
