@@ -359,6 +359,18 @@ func BenchmarkForceEngines(b *testing.B) {
 				}
 			}
 		})
+		tasks := tr.AppendGroups(nil, treecode.DualTaskSize)
+		b.Run(fmt.Sprintf("dual/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, ti := range tasks {
+					tr.DualForceWalk(ti, 0.7, sys.Eps, 0, nil, ar, &st)
+					for k := 0; k < ar.NumTargets(); k++ {
+						j, ax, ay, az := ar.Target(k)
+						sys.AX[j], sys.AY[j], sys.AZ[j] = ax, ay, az
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 // allreduce hot path (pooled against the unpooled baseline) and the
 // parallel rank-sweep harness (serial against concurrent).
 //
-//	benchreport -out BENCH_pr4.json            # write the report
+//	benchreport -out BENCH_pr6.json            # write the report
 //	benchreport -guard                         # fail on in-run regressions
 //	benchreport -compare old.json              # fail on >10% ns/op slowdown
 //
@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -44,7 +45,7 @@ type Entry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the BENCH_pr3.json envelope.
+// Report is the BENCH_pr6.json envelope.
 type Report struct {
 	Schema     string  `json:"schema"`
 	GoVersion  string  `json:"go_version"`
@@ -63,20 +64,22 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "bench_pr5_v1",
+		Schema:     "bench_pr6_v1",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	rep.Results = append(rep.Results, gravMicroEntries()...)
 	rep.Results = append(rep.Results, treecodeStepEntry())
+	rep.Results = append(rep.Results, treecodeStepExactEntry())
 	rep.Results = append(rep.Results, forceEngineEntries()...)
+	rep.Results = append(rep.Results, blockStepEntries()...)
 	rep.Results = append(rep.Results, hostParallelEntries()...)
 	rep.Results = append(rep.Results, mpiEntries()...)
 	rep.Results = append(rep.Results, sweepEntries()...)
 
 	for _, e := range rep.Results {
 		fmt.Printf("%-44s %14.0f ns/op  %d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
-		for _, k := range []string{"sim_cycles", "sim_mflops", "sim_seconds"} {
+		for _, k := range []string{"sim_cycles", "sim_mflops", "sim_seconds", "rms_error", "energy_drift", "max_rung_used"} {
 			if v, ok := e.Metrics[k]; ok {
 				fmt.Printf("  %s=%.6g", k, v)
 			}
@@ -183,6 +186,91 @@ func treecodeStepEntry() Entry {
 	return e
 }
 
+// treecodeStepExactEntry benchmarks the PR 5 default — the bit-exact
+// interaction-list engine — on the same full force step. It is the
+// uniform-stepping baseline the block-timestep guard prices against:
+// an exact integrator stepping every particle at the finest occupied
+// dt pays this once per tick.
+func treecodeStepExactEntry() Entry {
+	const n = 20000
+	sys := nbody.NewPlummer(n, 1, 2001)
+	sys.Eps = blockStepEps
+	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Engine: treecode.EngineList}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			check2(b, f.Forces(sys))
+		}
+	})
+	return Entry{
+		Name:        fmt.Sprintf("treecode/step-exact/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// blockStepEps is the softening of the block-timestep benchmark
+// system. The default 0.01 keeps an equal-mass Plummer sphere nearly
+// single-scale (at n=20000 per-particle masses are tiny, so even close
+// pairs never accelerate hard and everyone lands on the same rung);
+// 0.001 lets close encounters reach the fine rungs while the halo
+// stays coarse — the multi-scale regime hierarchical timesteps exist
+// for. The exact baseline runs the same system: per-step force cost is
+// independent of eps, so the comparison prices identical physics.
+const blockStepEps = 0.001
+
+// blockStepEntries benchmarks hierarchical block timesteps over the
+// default dual-tree engine: ns per base step at n=20000 (the perf side
+// the ≥3x combined-speedup guard divides into the exact baseline), and
+// the energy drift of 100 base steps at n=4096 (the accuracy side).
+func blockStepEntries() []Entry {
+	const (
+		n          = 20000
+		stepsPerOp = 2
+	)
+	sys := nbody.NewPlummer(n, 1, 2001)
+	sys.Eps = blockStepEps
+	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0)}
+	var bs nbody.BlockStepper
+	cfg := nbody.BlockConfig{DT: 0.02, MaxRung: 6}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			check2(b, bs.Run(sys, f, cfg, stepsPerOp))
+		}
+	})
+	st := bs.Stats
+	out := []Entry{{
+		Name:        fmt.Sprintf("treecode/blockstep/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()) / stepsPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics: map[string]float64{
+			"max_rung_used": float64(st.MaxRungUsed),
+			"updates":       float64(st.Updates),
+			"saved":         float64(st.Saved),
+		},
+	}}
+
+	es := nbody.NewPlummer(4096, 1, 2001)
+	k0, p0 := es.Energy()
+	var eb nbody.BlockStepper
+	ef := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0)}
+	t0 := time.Now()
+	check(eb.Run(es, ef, nbody.BlockConfig{DT: 0.01, MaxRung: 4}, 100))
+	wall := time.Since(t0)
+	k1, p1 := es.Energy()
+	drift := math.Abs((k1 + p1 - k0 - p0) / (k0 + p0))
+	out = append(out, Entry{
+		Name:    "treecode/blockstep/energy/n=4096",
+		NsPerOp: float64(wall.Nanoseconds()) / 100,
+		Metrics: map[string]float64{
+			"energy_drift":  drift,
+			"max_rung_used": float64(eb.Stats.MaxRungUsed),
+		},
+	})
+	return out
+}
+
 // forceEngineEntries benchmarks the force-evaluation engines head to
 // head on a prebuilt tree, single-threaded: one op is a full force
 // sweep over every particle. The recursive walk is the golden
@@ -198,6 +286,23 @@ func forceEngineEntries() []Entry {
 	check(err)
 	var out []Entry
 
+	// Direct-summation reference accelerations for the per-engine RMS
+	// force errors (G = 1 for Plummer systems, so raw engine output is
+	// directly comparable).
+	ref := nbody.NewPlummer(n, 1, 2001)
+	ref.DirectForces()
+	rmsError := func() float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			dx := sys.AX[i] - ref.AX[i]
+			dy := sys.AY[i] - ref.AY[i]
+			dz := sys.AZ[i] - ref.AZ[i]
+			den := ref.AX[i]*ref.AX[i] + ref.AY[i]*ref.AY[i] + ref.AZ[i]*ref.AZ[i]
+			sum += (dx*dx + dy*dy + dz*dz) / den
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+
 	var st treecode.Stats
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -212,6 +317,7 @@ func forceEngineEntries() []Entry {
 		Name:        fmt.Sprintf("force/recursive/n=%d", n),
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     map[string]float64{"rms_error": rmsError()},
 	})
 
 	ar := treecode.NewWalkArena()
@@ -257,6 +363,35 @@ func forceEngineEntries() []Entry {
 		Name:        fmt.Sprintf("force/groupwalk/n=%d", n),
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     map[string]float64{"rms_error": rmsError()},
+	})
+
+	// The dual-tree engine: mutual traversal over coarse target tasks,
+	// refined to group frames — the new default, guarded to at least
+	// match the recursive walk's accuracy with zero steady-state
+	// allocations.
+	tasks := tr.AppendGroups(nil, treecode.DualTaskSize)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for _, ti := range tasks {
+			tr.DualForceWalk(ti, 0.7, sys.Eps, treecode.DefaultGroupSize, nil, ar, &st)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ti := range tasks {
+				tr.DualForceWalk(ti, 0.7, sys.Eps, treecode.DefaultGroupSize, nil, ar, &st)
+				for k := 0; k < ar.NumTargets(); k++ {
+					j, ax, ay, az := ar.Target(k)
+					sys.AX[j], sys.AY[j], sys.AZ[j] = ax, ay, az
+				}
+			}
+		}
+	})
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("force/dual/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     map[string]float64{"rms_error": rmsError()},
 	})
 	return out
 }
@@ -439,6 +574,48 @@ func guardReport(rep *Report) error {
 		return fmt.Errorf("guard: group-walk force sweep allocates: %d allocs/op, want 0",
 			grpEntry.AllocsPerOp)
 	}
+	// The dual-tree engine's bars: allocation-free steady state and at
+	// least the recursive walk's accuracy (mutual acceptance is
+	// conservative relative to the per-particle MAC, so dual must never
+	// be the least accurate engine).
+	dualEntry := find(rep, "force/dual/n=20000")
+	if dualEntry == nil {
+		return fmt.Errorf("guard: missing force/dual entry")
+	}
+	if dualEntry.AllocsPerOp != 0 {
+		return fmt.Errorf("guard: dual-tree force sweep allocates: %d allocs/op, want 0",
+			dualEntry.AllocsPerOp)
+	}
+	if dualEntry.Metrics["rms_error"] > recEntry.Metrics["rms_error"] {
+		return fmt.Errorf("guard: dual-tree RMS force error %.3e exceeds recursive %.3e",
+			dualEntry.Metrics["rms_error"], recEntry.Metrics["rms_error"])
+	}
+	// The PR 6 headline: dual-tree traversal plus hierarchical block
+	// timesteps must deliver ≥3x the PR 5 default per unit of simulated
+	// time. The exact baseline steps every particle at the finest
+	// occupied dt, paying one list-engine force step per tick — 2^rung
+	// of them per base step; the block integrator covers the same base
+	// step in NsPerOp.
+	exact := find(rep, "treecode/step-exact/n=20000")
+	blk := find(rep, "treecode/blockstep/n=20000")
+	if exact == nil || blk == nil {
+		return fmt.Errorf("guard: missing treecode/step-exact or treecode/blockstep entry")
+	}
+	ticks := math.Pow(2, blk.Metrics["max_rung_used"])
+	combined := exact.NsPerOp * ticks / blk.NsPerOp
+	if combined < 3.0 {
+		return fmt.Errorf("guard: dual+block engine only %.2fx the exact uniform baseline (want ≥3x): %.0f ns × %g ticks vs %.0f ns per base step",
+			combined, exact.NsPerOp, ticks, blk.NsPerOp)
+	}
+	// Accuracy side of the same bargain: the hierarchy must not trade
+	// away energy conservation.
+	energy := find(rep, "treecode/blockstep/energy/n=4096")
+	if energy == nil {
+		return fmt.Errorf("guard: missing treecode/blockstep/energy entry")
+	}
+	if drift := energy.Metrics["energy_drift"]; drift > 1e-3 {
+		return fmt.Errorf("guard: block-timestep energy drift %.3e over 100 base steps, want ≤ 1e-3", drift)
+	}
 	// Host-side, tolerance-based: the worker pool must not run slower
 	// than serial beyond noise.
 	g := rep.GOMAXPROCS
@@ -491,8 +668,10 @@ func guardReport(rep *Report) error {
 }
 
 // compareReports is the benchstat-style step: every hostparallel and
-// mpi benchmark present in both reports must not have slowed down >10%.
-// Only meaningful when both reports come from the same machine.
+// mpi benchmark in the baseline must exist in the current report and
+// must not have slowed down >10%. A guarded baseline entry missing
+// from the new report is an error, not a skip. Only meaningful when
+// both reports come from the same machine.
 func compareReports(oldPath string, cur *Report) error {
 	data, err := os.ReadFile(oldPath)
 	if err != nil {
@@ -509,7 +688,13 @@ func compareReports(oldPath string, cur *Report) error {
 			continue
 		}
 		n := find(cur, o.Name)
-		if n == nil || o.NsPerOp <= 0 {
+		if n == nil {
+			// A baseline entry the comparison is supposed to police must
+			// not vanish silently — renames and removals have to update
+			// the baseline, or a regression could hide behind them.
+			return fmt.Errorf("compare: baseline entry %q missing from the current report", o.Name)
+		}
+		if o.NsPerOp <= 0 {
 			continue
 		}
 		compared++

@@ -29,7 +29,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nas"
-	"repro/internal/treecode"
 )
 
 func main() {
@@ -40,11 +39,7 @@ func main() {
 	class := flag.String("class", "W", "NPB class for table 3 (S, W, A)")
 	particles := flag.Int("particles", 0, "particle count override for table 2 / figure 3")
 	sweep := flag.Bool("sweep", false, "run table 2's independent worlds concurrently on the host pool")
-	engineName := flag.String("engine", "list", "treecode force engine for table 2 / figure 3: list or recursive")
-	groupwalk := flag.Bool("groupwalk", false, "amortize one treecode traversal per leaf bucket (conservative group MAC)")
 	flag.Parse()
-	engine, err := treecode.ParseEngine(*engineName)
-	d.Check(err)
 	d.Check(d.Setup())
 
 	wantObs := d.ObsJSON != "" || d.ObsCSV != "" || d.TracePath != "" || d.Format == "json"
@@ -60,7 +55,7 @@ func main() {
 		d.Textf("%s\n", t1)
 		cfg := core.DefaultTable2Config()
 		cfg.Concurrent = *sweep
-		cfg.Engine, cfg.GroupWalk = engine, *groupwalk
+		cfg.Engine = d.Engine
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}
@@ -80,7 +75,7 @@ func main() {
 	if run(2) {
 		cfg := core.DefaultTable2Config()
 		cfg.Concurrent = *sweep
-		cfg.Engine, cfg.GroupWalk = engine, *groupwalk
+		cfg.Engine = d.Engine
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}
@@ -121,7 +116,7 @@ func main() {
 	}
 	if *all || *figure == 3 {
 		cfg := core.DefaultFigure3Config()
-		cfg.Engine, cfg.GroupWalk = engine, *groupwalk
+		cfg.Engine = d.Engine
 		if *particles > 0 {
 			cfg.Particles = *particles
 		}

@@ -6,8 +6,13 @@
 //
 //	nbodysim -n 20000 -steps 20 -theta 0.7
 //	nbodysim -n 2000 -direct -steps 10
+//	nbodysim -n 20000 -rungs 4 -steps 20
 //	nbodysim -n 30000 -ranks 24 -render out.pgm
 //	nbodysim -n 10000 -ranks 8 -obs-json obs.json -trace run.trace
+//
+// The force engine comes from the shared -engine/-error-budget driver
+// flags (default: the dual-tree engine); -rungs enables hierarchical
+// block timesteps with DT/2^rungs as the finest step.
 package main
 
 import (
@@ -35,11 +40,9 @@ func main() {
 	ranks := flag.Int("ranks", 0, "simulate a parallel run on this many TM5600 blades (0 = serial)")
 	render := flag.String("render", "", "write a PGM density rendering to this file")
 	ascii := flag.Bool("ascii", false, "print an ASCII density rendering")
-	engineName := flag.String("engine", "list", "force engine: list (interaction lists) or recursive (golden walk)")
-	groupwalk := flag.Bool("groupwalk", false, "amortize one traversal per leaf bucket (conservative group MAC; not bit-identical)")
+	rungs := flag.Int("rungs", 0, "hierarchical block-timestep rungs (0 = uniform leapfrog; finest step is dt/2^rungs)")
+	eta := flag.Float64("eta", 0, "block-timestep accuracy parameter (0 = default)")
 	flag.Parse()
-	engine, err := treecode.ParseEngine(*engineName)
-	d.Check(err)
 	d.Check(d.Setup())
 	snap := d.Run.Snap
 
@@ -62,14 +65,26 @@ func main() {
 		}
 		forcer = &parallelForcer{ranks: *ranks, run: d.Run, cfg: treecode.ParallelConfig{
 			Theta: *theta, Quadrupole: *quad, Eps: s.Eps, Cost: cm,
-			Engine: engine, GroupWalk: *groupwalk,
+			Engine: d.Engine,
 		}}
 	default:
 		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad, Tracer: d.Run.Tracer,
-			Engine: engine, GroupWalk: *groupwalk}
+			Engine: d.Engine}
 	}
 
-	d.Check(s.Leapfrog(forcer, *dt, *steps))
+	var stepper nbody.BlockStepper
+	if *rungs > 0 {
+		err := stepper.Run(s, forcer, nbody.BlockConfig{DT: *dt, MaxRung: *rungs, Eta: *eta}, *steps)
+		d.Check(err)
+		st := stepper.Stats
+		d.Textf("block timesteps: %d substeps, %d force updates (%d saved vs uniform), max rung %d, histogram %v\n",
+			st.Substeps, st.Updates, st.Saved, st.MaxRungUsed, stepper.Histogram())
+		snap.SetGauge("nbodysim.rung.max_used", "", "highest block-timestep rung occupied", float64(st.MaxRungUsed))
+		snap.SetGauge("nbodysim.rung.updates", "", "per-particle force updates performed", float64(st.Updates))
+		snap.SetGauge("nbodysim.rung.saved", "", "force updates avoided vs uniform finest-dt stepping", float64(st.Saved))
+	} else {
+		d.Check(s.Leapfrog(forcer, *dt, *steps))
+	}
 	d.Textf("%d particles, %d steps: %d interactions, %.3g flops (treecode convention)\n",
 		*n, *steps, s.Interactions, float64(s.Flops()))
 	snap.SetGauge("nbodysim.particles", "", "particle count", float64(*n))

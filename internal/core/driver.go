@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/nbody"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/treecode"
@@ -20,12 +21,14 @@ import (
 // Driver is the flag and output plumbing shared by the cmd/ binaries.
 // Every driver gets the same observability surface:
 //
-//	-procs N        host worker count for parallel phases
-//	-obs-json PATH  write the run's obs snapshot as JSON
-//	-obs-csv PATH   write the run's obs snapshot as CSV
-//	-trace PATH     write a Chrome trace_event JSON trace
-//	-format F       text (tables, default) or json (snapshot envelope)
-//	-debug-addr A   serve net/http/pprof and runtime/metrics
+//	-procs N         host worker count for parallel phases
+//	-engine E        treecode force engine (auto/list/recursive/group/dual)
+//	-error-budget B  force-error budget steering the auto engine choice
+//	-obs-json PATH   write the run's obs snapshot as JSON
+//	-obs-csv PATH    write the run's obs snapshot as CSV
+//	-trace PATH      write a Chrome trace_event JSON trace
+//	-format F        text (tables, default) or json (snapshot envelope)
+//	-debug-addr A    serve net/http/pprof and runtime/metrics
 //
 // Usage: NewDriver(name) before flag.Parse, then Setup() after, Textf for
 // human output, and Finish() last to emit the artifacts.
@@ -38,6 +41,13 @@ type Driver struct {
 	TracePath string
 	Format    string
 	DebugAddr string
+
+	// EngineName/ErrorBudget/GroupWalk mirror the shared force-engine
+	// flags; Engine is the parsed selection, valid after Setup.
+	EngineName  string
+	ErrorBudget float64
+	GroupWalk   bool
+	Engine      treecode.Engine
 
 	// Run carries the snapshot and tracer every experiment records into;
 	// valid after Setup.
@@ -64,6 +74,9 @@ func (d *Driver) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&d.TracePath, "trace", "", "write a Chrome trace_event JSON trace to this `path` (load in chrome://tracing or Perfetto)")
 	fs.StringVar(&d.Format, "format", "text", "output `format`: text or json")
 	fs.StringVar(&d.DebugAddr, "debug-addr", "", "serve net/http/pprof and runtime/metrics on this `address` (e.g. localhost:6060)")
+	fs.StringVar(&d.EngineName, "engine", "auto", "treecode force `engine`: auto, list, recursive, group, or dual")
+	fs.Float64Var(&d.ErrorBudget, "error-budget", treecode.DefaultErrorBudget, "force-error budget for -engine auto, in units of the exact walk's own RMS error (< 1 pins the bit-exact list engine)")
+	fs.BoolVar(&d.GroupWalk, "groupwalk", false, "deprecated alias for -engine group")
 }
 
 // Setup validates the flags, applies -procs, and creates the Run (with a
@@ -80,6 +93,14 @@ func (d *Driver) Setup() error {
 	if d.Procs > 0 {
 		par.SetWorkers(d.Procs)
 	}
+	engine, err := treecode.ParseEngine(d.EngineName)
+	if err != nil {
+		return fmt.Errorf("%s: %w", d.Name, err)
+	}
+	if engine == treecode.EngineAuto && d.GroupWalk {
+		engine = treecode.EngineGroup
+	}
+	d.Engine = treecode.ResolveEngine(engine, d.ErrorBudget)
 	if d.Gears {
 		cpu.SetGears(true)
 	}
@@ -87,6 +108,7 @@ func (d *Driver) Setup() error {
 	d.Run.Snap.SetMeta("driver", d.Name)
 	d.Run.Snap.SetMeta("args", strings.Join(os.Args[1:], " "))
 	d.Run.Snap.SetMeta("workers", fmt.Sprintf("%d", par.Workers()))
+	d.Run.Snap.SetMeta("engine", d.Engine.String())
 	if d.TracePath != "" {
 		t := obs.NewTracer()
 		t.NameProcess(obs.PidHost, "host (wall clock)")
@@ -126,6 +148,7 @@ func (d *Driver) startDebugServer() {
 		snap := d.Run.Snap
 		snap.Gather(cpu.CalibMemoSource())
 		snap.Gather(treecode.ListTelemetry())
+		snap.Gather(nbody.RungTelemetry())
 		_ = snap.WriteJSON(w)
 	})
 	d.debugSrv = &http.Server{Addr: d.DebugAddr, Handler: mux}
@@ -150,6 +173,7 @@ func (d *Driver) Textf(format string, a ...any) {
 func (d *Driver) Finish() error {
 	d.Run.Snap.Gather(cpu.CalibMemoSource())
 	d.Run.Snap.Gather(treecode.ListTelemetry())
+	d.Run.Snap.Gather(nbody.RungTelemetry())
 	if d.ObsJSON != "" {
 		if err := writeFileWith(d.ObsJSON, d.Run.Snap.WriteJSON); err != nil {
 			return fmt.Errorf("%s: obs-json: %w", d.Name, err)

@@ -94,10 +94,12 @@ type Table2Config struct {
 	// Workers bounds host concurrency when Concurrent (0 = the
 	// process-wide default).
 	Workers int
-	// Engine selects each rank's force-evaluation engine (list by
-	// default); GroupWalk amortizes one traversal per leaf bucket.
-	Engine    treecode.Engine
-	GroupWalk bool
+	// Engine selects each rank's force-evaluation engine (dual by
+	// default); ErrorBudget steers the auto choice (< 1 pins the
+	// bit-exact list engine); GroupWalk is the deprecated group alias.
+	Engine      treecode.Engine
+	ErrorBudget float64
+	GroupWalk   bool
 }
 
 // DefaultTable2Config mirrors the paper's sweep of the 24-blade chassis.
@@ -153,7 +155,7 @@ func (r *Run) Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 		o.w = w
 		o.res, o.err = treecode.ParallelForces(w, s, treecode.ParallelConfig{
 			Theta: cfg.Theta, Eps: s.Eps, Cost: cm,
-			Engine: cfg.Engine, GroupWalk: cfg.GroupWalk,
+			Engine: cfg.Engine, ErrorBudget: cfg.ErrorBudget, GroupWalk: cfg.GroupWalk,
 		})
 	}
 	if cfg.Concurrent {
@@ -481,10 +483,11 @@ type Figure3Config struct {
 	Steps     int
 	Width     int
 	Height    int
-	// Engine selects the force engine (list by default); GroupWalk
-	// amortizes one traversal per leaf bucket.
-	Engine    treecode.Engine
-	GroupWalk bool
+	// Engine selects the force engine (dual by default); ErrorBudget
+	// steers the auto choice; GroupWalk is the deprecated group alias.
+	Engine      treecode.Engine
+	ErrorBudget float64
+	GroupWalk   bool
 }
 
 // DefaultFigure3Config is sized for a quick run; the sc01demo example
@@ -508,7 +511,8 @@ func (r *Run) Figure3(cfg Figure3Config) (*nbody.DensityImage, *nbody.System, er
 		s.VY[i] *= 0.3
 		s.VZ[i] *= 0.3
 	}
-	f := &treecode.Forcer{Theta: 0.7, Tracer: r.Tracer, Engine: cfg.Engine, GroupWalk: cfg.GroupWalk}
+	f := &treecode.Forcer{Theta: 0.7, Tracer: r.Tracer,
+		Engine: cfg.Engine, ErrorBudget: cfg.ErrorBudget, GroupWalk: cfg.GroupWalk}
 	if cfg.Steps > 0 {
 		if err := s.Leapfrog(f, 0.01, cfg.Steps); err != nil {
 			return nil, nil, err

@@ -42,6 +42,28 @@ func TestGroupForceLeafZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestDualForceWalkZeroAlloc pins the dual-tree task walk at zero
+// allocations per call once the arena (lists, target buffers, and the
+// undecided-source stack) is warm.
+func TestDualForceWalkZeroAlloc(t *testing.T) {
+	s := nbody.NewPlummer(4000, 1, 13)
+	tr := buildFromSystem(t, s, BuildOptions{Quadrupole: true})
+	tasks := tr.AppendGroups(nil, DualTaskSize)
+	ar := NewWalkArena()
+	var st Stats
+	for _, ti := range tasks {
+		tr.DualForceWalk(ti, 0.7, s.Eps, 0, nil, ar, &st)
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		tr.DualForceWalk(tasks[k], 0.7, s.Eps, 0, nil, ar, &st)
+		k = (k + 1) % len(tasks)
+	})
+	if allocs != 0 {
+		t.Fatalf("DualForceWalk allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 // TestForceSweepZeroAlloc runs a full warm sweep over every particle
 // with a single arena — the exact shape of one worker's chunk loop in
 // Forcer.Forces — and pins it at zero allocations. (The whole Forces

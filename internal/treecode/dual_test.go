@@ -1,0 +1,297 @@
+package treecode
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+)
+
+// sweepDual evaluates forces for every particle with serial dual-tree
+// traversals over the standard task decomposition.
+func sweepDual(tr *Tree, s *nbody.System, theta float64, groupSize int) ([]float64, Stats) {
+	var st Stats
+	ar := NewWalkArena()
+	out := make([]float64, 3*s.N())
+	filled := 0
+	for _, ti := range tr.AppendGroups(nil, DualTaskSize) {
+		tr.DualForceWalk(ti, theta, s.Eps, groupSize, nil, ar, &st)
+		for k := 0; k < ar.NumTargets(); k++ {
+			i, ax, ay, az := ar.Target(k)
+			out[3*i], out[3*i+1], out[3*i+2] = ax, ay, az
+			filled++
+		}
+	}
+	if filled != s.N() {
+		panic("dual sweep did not cover every particle")
+	}
+	return out, st
+}
+
+// TestDualEngineAccuracyBounded: every cell the dual traversal accepts
+// — whether hoisted at an ancestor target or resolved at the group —
+// passes the group MAC for the group's own box, and rejected cells
+// opened above group level are evaluated at *finer* granularity than
+// the group walk would use. So the dual engine's RMS error against
+// direct summation is bounded by the group engine's, which is bounded
+// by the recursive walk's.
+func TestDualEngineAccuracyBounded(t *testing.T) {
+	const n = 4000
+	s := nbody.NewPlummer(n, 1, 5)
+	tr := buildFromSystem(t, s, BuildOptions{})
+
+	rec, recSt := sweepRecursive(tr, s, 0.7)
+	dual, dualSt := sweepDual(tr, s, 0.7, DefaultGroupSize)
+
+	recRMS := rmsError(s, rec)
+	dualRMS := rmsError(s, dual)
+	t.Logf("theta=0.7 n=%d: recursive RMS=%.3e (%d interactions), dual RMS=%.3e (%d interactions)",
+		n, recRMS, recSt.Interactions(), dualRMS, dualSt.Interactions())
+	if dualRMS > recRMS*1.05+1e-12 {
+		t.Fatalf("dual engine less accurate than per-particle walk: RMS %.3e vs %.3e", dualRMS, recRMS)
+	}
+	if dualSt.PP < recSt.PP {
+		t.Fatalf("dual engine did fewer PP interactions than per-particle: %d vs %d", dualSt.PP, recSt.PP)
+	}
+}
+
+// TestForcerDefaultResolvesDual: the tentpole switch — a zero-valued
+// engine selection (EngineAuto, default error budget) must run the
+// dual engine, bit-identically to asking for it explicitly.
+func TestForcerDefaultResolvesDual(t *testing.T) {
+	const n = 3000
+	before := dualTasks.Value()
+	def, defSt := forcerAccels(t, &Forcer{Theta: 0.7, Workers: 2}, n)
+	if dualTasks.Value() == before {
+		t.Fatal("default Forcer ran no dual-tree tasks")
+	}
+	exp, expSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: EngineDual, Workers: 2}, n)
+	if i := bitsEqual(def, exp); i >= 0 {
+		t.Fatalf("default engine differs from explicit dual at component %d", i)
+	}
+	if defSt != expSt {
+		t.Fatalf("stats differ: %+v vs %+v", defSt, expSt)
+	}
+	// A sub-1 budget demands exactness: bit-identical to the list engine.
+	tight, _ := forcerAccels(t, &Forcer{Theta: 0.7, ErrorBudget: 0.5, Workers: 2}, n)
+	list, _ := forcerAccels(t, &Forcer{Theta: 0.7, Engine: EngineList, Workers: 2}, n)
+	if i := bitsEqual(tight, list); i >= 0 {
+		t.Fatalf("ErrorBudget=0.5 fallback differs from list engine at component %d", i)
+	}
+}
+
+// TestDualWorkersBitIdentical: dual tasks partition the particles and
+// per-chunk sharded counters fold in chunk order, so accelerations and
+// stats must not depend on the worker width.
+func TestDualWorkersBitIdentical(t *testing.T) {
+	const n = 6000
+	ref, refSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: EngineDual, Workers: 1}, n)
+	for _, w := range []int{2, 8} {
+		got, gotSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: EngineDual, Workers: w}, n)
+		if i := bitsEqual(ref, got); i >= 0 {
+			t.Fatalf("workers=%d: component %d differs from serial", w, i)
+		}
+		if refSt != gotSt {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", w, refSt, gotSt)
+		}
+	}
+}
+
+// TestGroupSizesDeterministic pins the group and dual engines at
+// non-default group granularities (1 below the bucket, 3, the default
+// 64, and 65 just past it): per (engine, size, workers) the results
+// must be bit-identical across worker counts 1/2/8, and every size
+// must stay RMS-bounded by the recursive walk.
+func TestGroupSizesDeterministic(t *testing.T) {
+	const n = 2500
+	s := nbody.NewPlummer(n, 1, 99)
+	tr := buildFromSystem(t, s, BuildOptions{})
+	rec, _ := sweepRecursive(tr, s, 0.7)
+	recRMS := rmsError(s, rec)
+	for _, engine := range []Engine{EngineGroup, EngineDual} {
+		for _, size := range []int{1, 3, 64, 65} {
+			ref, refSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: engine, GroupSize: size, Workers: 1}, n)
+			for _, w := range []int{2, 8} {
+				got, gotSt := forcerAccels(t, &Forcer{Theta: 0.7, Engine: engine, GroupSize: size, Workers: w}, n)
+				if i := bitsEqual(ref, got); i >= 0 {
+					t.Fatalf("%v size=%d workers=%d: component %d differs from serial", engine, size, w, i)
+				}
+				if refSt != gotSt {
+					t.Fatalf("%v size=%d workers=%d: stats differ: %+v vs %+v", engine, size, w, refSt, gotSt)
+				}
+			}
+			// forcerAccels uses seed 99 too, so ref is comparable to rec.
+			if rms := rmsError(s, ref); rms > recRMS*1.05+1e-12 {
+				t.Fatalf("%v size=%d: RMS %.3e exceeds recursive %.3e", engine, size, rms, recRMS)
+			}
+		}
+	}
+}
+
+// TestSofteningAgreesWithRecursive is the satellite regression for the
+// hoisted softening helper: at eps = 0 and eps > 0 alike, the list
+// engine must match the recursive walk bit for bit, and the group and
+// dual engines must stay RMS-bounded by it. A wrong eps² in any engine
+// blows the comparison up immediately.
+func TestSofteningAgreesWithRecursive(t *testing.T) {
+	const n = 2000
+	base := nbody.NewPlummer(n, 1, 17)
+	tr := buildFromSystem(t, base, BuildOptions{Quadrupole: true})
+	for _, eps := range []float64{0, 0.05} {
+		s := *base
+		s.Eps = eps
+		rec, _ := sweepRecursive(tr, &s, 0.7)
+		list, _ := sweepList(tr, &s, 0.7)
+		if i := bitsEqual(rec, list); i >= 0 {
+			t.Fatalf("eps=%g: list engine differs from recursive at component %d", eps, i)
+		}
+		recRMS := rmsError(&s, rec)
+		grp := make([]float64, 3*n)
+		var grpSt Stats
+		ar := NewWalkArena()
+		for _, li := range tr.AppendLeaves(nil) {
+			tr.GroupForceLeaf(li, 0.7, s.Eps, ar, &grpSt)
+			for k := 0; k < ar.NumTargets(); k++ {
+				i, ax, ay, az := ar.Target(k)
+				grp[3*i], grp[3*i+1], grp[3*i+2] = ax, ay, az
+			}
+		}
+		if rms := rmsError(&s, grp); rms > recRMS*1.05+1e-12 {
+			t.Fatalf("eps=%g: group engine RMS %.3e exceeds recursive %.3e", eps, rms, recRMS)
+		}
+		dual, _ := sweepDual(tr, &s, 0.7, DefaultGroupSize)
+		if rms := rmsError(&s, dual); rms > recRMS*1.05+1e-12 {
+			t.Fatalf("eps=%g: dual engine RMS %.3e exceeds recursive %.3e", eps, rms, recRMS)
+		}
+	}
+}
+
+// TestForcesActiveList: with the exact engine, a masked ForcesActive
+// call must reproduce the full run's bits on the active subset and
+// leave inactive accelerations untouched.
+func TestForcesActiveList(t *testing.T) {
+	const n = 2000
+	full := nbody.NewPlummer(n, 1, 31)
+	f := &Forcer{Theta: 0.7, Engine: EngineList, Workers: 4}
+	if err := f.Forces(full); err != nil {
+		t.Fatal(err)
+	}
+	masked := nbody.NewPlummer(n, 1, 31)
+	active := make([]bool, n)
+	const sentinel = 1234.5
+	for i := range active {
+		active[i] = i%3 == 0
+		masked.AX[i], masked.AY[i], masked.AZ[i] = sentinel, sentinel, sentinel
+	}
+	if err := f.ForcesActive(masked, active); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if active[i] {
+			if masked.AX[i] != full.AX[i] || masked.AY[i] != full.AY[i] || masked.AZ[i] != full.AZ[i] {
+				t.Fatalf("active particle %d differs from full run", i)
+			}
+		} else if masked.AX[i] != sentinel || masked.AY[i] != sentinel || masked.AZ[i] != sentinel {
+			t.Fatalf("inactive particle %d was overwritten", i)
+		}
+	}
+	if f.LastStats.PP == 0 || f.LastStats.PC == 0 {
+		t.Fatalf("degenerate masked stats: %+v", f.LastStats)
+	}
+}
+
+// TestForcesActiveDual: the dual engine under a mask shrinks each
+// group's target box to its active members — a *more* conservative
+// MAC — so active particles must stay at least as accurate as the
+// recursive walk, inactive ones untouched, and subtrees with no
+// active member must be pruned (strictly less work than a full call).
+func TestForcesActiveDual(t *testing.T) {
+	const n = 2000
+	s := nbody.NewPlummer(n, 1, 31)
+	f := &Forcer{Theta: 0.7, Engine: EngineDual, Workers: 4}
+	if err := f.Forces(s); err != nil {
+		t.Fatal(err)
+	}
+	fullStats := f.LastStats
+
+	masked := nbody.NewPlummer(n, 1, 31)
+	active := make([]bool, n)
+	const sentinel = -987.25
+	for i := range active {
+		active[i] = i%4 == 1
+		masked.AX[i], masked.AY[i], masked.AZ[i] = sentinel, sentinel, sentinel
+	}
+	if err := f.ForcesActive(masked, active); err != nil {
+		t.Fatal(err)
+	}
+	if f.LastStats.Interactions() >= fullStats.Interactions() {
+		t.Fatalf("masked call did no less work: %d vs %d interactions",
+			f.LastStats.Interactions(), fullStats.Interactions())
+	}
+	// Accuracy of the active subset against direct summation, compared
+	// to the recursive walk on the same subset.
+	tr := buildFromSystem(t, s, BuildOptions{})
+	rec, _ := sweepRecursive(tr, s, 0.7)
+	var dualNum, recNum, den float64
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			if masked.AX[i] != sentinel {
+				t.Fatalf("inactive particle %d was overwritten", i)
+			}
+			continue
+		}
+		var ax, ay, az float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := s.X[j] - s.X[i]
+			dy := s.Y[j] - s.Y[i]
+			dz := s.Z[j] - s.Z[i]
+			r2 := dx*dx + dy*dy + dz*dz + s.Eps*s.Eps
+			rinv := 1 / math.Sqrt(r2)
+			fm := s.M[j] * rinv * rinv * rinv
+			ax += fm * dx
+			ay += fm * dy
+			az += fm * dz
+		}
+		ex, ey, ez := masked.AX[i]-ax, masked.AY[i]-ay, masked.AZ[i]-az
+		dualNum += ex*ex + ey*ey + ez*ez
+		ex, ey, ez = rec[3*i]-ax, rec[3*i+1]-ay, rec[3*i+2]-az
+		recNum += ex*ex + ey*ey + ez*ez
+		den += ax*ax + ay*ay + az*az
+	}
+	dualRMS := math.Sqrt(dualNum / den)
+	recRMS := math.Sqrt(recNum / den)
+	t.Logf("active-subset RMS: dual=%.3e recursive=%.3e", dualRMS, recRMS)
+	if dualRMS > recRMS*1.05+1e-12 {
+		t.Fatalf("masked dual RMS %.3e exceeds recursive %.3e", dualRMS, recRMS)
+	}
+}
+
+// TestDualTelemetry: a dual Forces call must record tasks, MAC tests,
+// evaluated groups, and — the point of the engine — cells hoisted
+// above group level.
+func TestDualTelemetry(t *testing.T) {
+	tasks0, mac0 := dualTasks.Value(), dualMAC.Value()
+	hoist0, groups0 := dualHoisted.Value(), dualGroups.Value()
+	f := &Forcer{Theta: 0.7, Engine: EngineDual, Workers: 2}
+	s := nbody.NewPlummer(4000, 1, 3)
+	if err := f.Forces(s); err != nil {
+		t.Fatal(err)
+	}
+	tasks := dualTasks.Value() - tasks0
+	if tasks == 0 || tasks > uint64(s.N()) {
+		t.Fatalf("implausible dual task count %d", tasks)
+	}
+	if mac := dualMAC.Value() - mac0; mac == 0 {
+		t.Fatal("no MAC tests recorded")
+	}
+	if hoisted := dualHoisted.Value() - hoist0; hoisted == 0 {
+		t.Fatal("no cells hoisted above group level — the dual engine is not amortizing")
+	}
+	groups := dualGroups.Value() - groups0
+	if groups < tasks {
+		t.Fatalf("fewer groups %d than tasks %d", groups, tasks)
+	}
+}

@@ -13,6 +13,50 @@ import "math"
 // accumulation order differs, so results are close (RMS-bounded), not
 // bit-identical. It is therefore opt-in (Forcer.GroupWalk).
 
+// Selection restricts a force computation to a subset of target
+// particles — the block-timestep integrator's active rung. A nil
+// *Selection means every real target. The prefix counts over the
+// tree's key-sorted source order let traversals prune whole subtrees
+// with no selected target in O(1).
+type Selection struct {
+	active []bool
+	pfx    []int32
+}
+
+// Select builds a Selection over the tree's sources from a mask indexed
+// by particle index (nil returns nil: all real targets selected).
+func (t *Tree) Select(active []bool) *Selection {
+	if active == nil {
+		return nil
+	}
+	pfx := make([]int32, len(t.Sources)+1)
+	for i := range t.Sources {
+		pfx[i+1] = pfx[i]
+		if s := &t.Sources[i]; s.Index >= 0 && active[s.Index] {
+			pfx[i+1]++
+		}
+	}
+	return &Selection{active: active, pfx: pfx}
+}
+
+// count returns the selected targets among sorted sources [lo, hi) —
+// for a nil selection an upper bound (real-target filtering happens at
+// evaluation), which is all pruning needs.
+func (sel *Selection) count(lo, hi int32) int32 {
+	if sel == nil {
+		return hi - lo
+	}
+	return sel.pfx[hi] - sel.pfx[lo]
+}
+
+// selected reports whether source s is an evaluated target.
+func (sel *Selection) selected(s *Source) bool {
+	if s.Index < 0 {
+		return false
+	}
+	return sel == nil || sel.active[s.Index]
+}
+
 // appendGroupInteractions traverses once for leaf li, appending
 // group-accepted cells and opened leaf sources (with their particle
 // indices, for per-target self-exclusion at evaluation). It scans the
@@ -28,7 +72,7 @@ import "math"
 // it does in the point walk, and dmin2 > 3·size2 (target box farther
 // from the node's centre of mass than the node's diagonal) proves the
 // boxes disjoint without touching the cold box array.
-func (t *Tree) appendGroupInteractions(ar *WalkArena, li int32, theta float64) {
+func (t *Tree) appendGroupInteractions(ar *WalkArena, li int32, theta float64, sel *Selection) {
 	wn, wb, wq := t.walkIndex()
 	th2 := theta * theta
 	quad := t.Quadrupole
@@ -38,14 +82,15 @@ func (t *Tree) appendGroupInteractions(ar *WalkArena, li int32, theta float64) {
 	qxy, qxz, qyz := ar.qxy[:0], ar.qxz[:0], ar.qyz[:0]
 	px, py, pz, pm := ar.px[:0], ar.py[:0], ar.pz[:0], ar.pm[:0]
 	pidx := ar.pidx[:0]
-	// Tight AABB over the leaf's real targets (pseudo-particle sources
-	// are never evaluated, so they don't constrain the group MAC).
+	// Tight AABB over the leaf's selected real targets (pseudo-particle
+	// and unselected sources are never evaluated, so they don't
+	// constrain the group MAC).
 	n0 := &t.Nodes[li]
 	var tx, ty, tz, hx, hy, hz float64
 	none := true
 	for j := n0.First; j < n0.First+n0.Count; j++ {
 		s := &srcs[j]
-		if s.Index < 0 {
+		if !sel.selected(s) {
 			continue
 		}
 		if none {
@@ -139,18 +184,36 @@ func boxDisjointAABB(b Box, tx, ty, tz, hx, hy, hz float64) bool {
 // amortized walk pay. Stats count per-target interactions exactly as
 // the per-particle walk would (self-matches are excluded from PP).
 func (t *Tree) GroupForceLeaf(li int32, theta, eps float64, ar *WalkArena, st *Stats) {
-	t.appendGroupInteractions(ar, li, theta)
-	eps2 := eps * eps
+	t.groupForceLeaf(li, theta, eps, nil, ar, st)
+}
+
+// groupForceLeaf is GroupForceLeaf restricted to a selection of
+// targets (nil = every real target).
+func (t *Tree) groupForceLeaf(li int32, theta, eps float64, sel *Selection, ar *WalkArena, st *Stats) {
+	t.appendGroupInteractions(ar, li, theta, sel)
 	ar.tIdx = ar.tIdx[:0]
 	ar.tax, ar.tay, ar.taz = ar.tax[:0], ar.tay[:0], ar.taz[:0]
 	n := &t.Nodes[li]
+	t.evalTargets(int32(n.First), int32(n.Count), eps, sel, ar, st)
+}
+
+// evalTargets evaluates the arena's current shared interaction list —
+// all cells, then all leaf sources with per-target self-exclusion —
+// for every selected real target in the key-sorted source range
+// [first, first+count), appending (index, acceleration) rows to the
+// arena's target buffers. It is the single evaluation path behind the
+// group and dual engines, and the one place their softening handling
+// lives. Stats count per-target interactions exactly as the
+// per-particle walk would (self-matches are excluded from PP).
+func (t *Tree) evalTargets(first, count int32, eps float64, sel *Selection, ar *WalkArena, st *Stats) {
+	eps2 := softening2(eps)
 	cells := len(ar.cm)
 	parts := len(ar.pm)
 	quad := t.Quadrupole
 	targets := 0
-	for i := n.First; i < n.First+n.Count; i++ {
+	for i := first; i < first+count; i++ {
 		s := &t.Sources[i]
-		if s.Index < 0 {
+		if !sel.selected(s) {
 			continue
 		}
 		var ax, ay, az float64

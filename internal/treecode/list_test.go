@@ -250,7 +250,12 @@ func TestParseEngine(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want Engine
-	}{{"", EngineList}, {"list", EngineList}, {"recursive", EngineRecursive}} {
+	}{
+		{"", EngineAuto}, {"auto", EngineAuto},
+		{"list", EngineList}, {"recursive", EngineRecursive},
+		{"group", EngineGroup}, {"groupwalk", EngineGroup},
+		{"dual", EngineDual},
+	} {
 		got, err := ParseEngine(tc.in)
 		if err != nil || got != tc.want {
 			t.Fatalf("ParseEngine(%q) = %v, %v", tc.in, got, err)
@@ -259,8 +264,37 @@ func TestParseEngine(t *testing.T) {
 	if _, err := ParseEngine("turbo"); err == nil {
 		t.Fatal("ParseEngine accepted an unknown engine")
 	}
-	if EngineList.String() != "list" || EngineRecursive.String() != "recursive" {
-		t.Fatal("engine names drifted from the flag spellings")
+	for e, want := range map[Engine]string{
+		EngineAuto: "auto", EngineList: "list", EngineRecursive: "recursive",
+		EngineGroup: "group", EngineDual: "dual",
+	} {
+		if e.String() != want {
+			t.Fatalf("engine %d spelled %q, want %q", int(e), e.String(), want)
+		}
+	}
+}
+
+// TestResolveEngine pins the error-budget resolution: auto defaults to
+// the dual engine (budget 1 = "no worse than the reference"), budgets
+// below 1 demand bit-exactness, and explicit engines always win.
+func TestResolveEngine(t *testing.T) {
+	for _, tc := range []struct {
+		e      Engine
+		budget float64
+		want   Engine
+	}{
+		{EngineAuto, 0, EngineDual},
+		{EngineAuto, 1, EngineDual},
+		{EngineAuto, 2.5, EngineDual},
+		{EngineAuto, 0.5, EngineList},
+		{EngineList, 0, EngineList},
+		{EngineRecursive, 5, EngineRecursive},
+		{EngineGroup, 0.1, EngineGroup},
+		{EngineDual, 0.1, EngineDual},
+	} {
+		if got := ResolveEngine(tc.e, tc.budget); got != tc.want {
+			t.Fatalf("ResolveEngine(%v, %g) = %v, want %v", tc.e, tc.budget, got, tc.want)
+		}
 	}
 }
 

@@ -84,6 +84,10 @@ var (
 	listArenaAlloc = listReg.Counter("treecode.list.arena.alloc", "", "walk arenas allocated")
 	listArenaReuse = listReg.Counter("treecode.list.arena.reuse", "", "walk-arena acquisitions served by an existing arena")
 	listGroupSaved = listReg.Counter("treecode.list.groupwalk.saved", "", "tree traversals saved by group walks (targets beyond the first per leaf)")
+	dualTasks      = listReg.Counter("treecode.dual.tasks", "", "dual-tree traversal tasks run")
+	dualMAC        = listReg.Counter("treecode.dual.mac", "", "MAC tests performed by dual traversals")
+	dualHoisted    = listReg.Counter("treecode.dual.hoisted", "", "cells accepted above group level (one test shared by every group below)")
+	dualGroups     = listReg.Counter("treecode.dual.groups", "", "target groups evaluated by dual traversals")
 )
 
 // ListTelemetry returns the obs source for the list engine's

@@ -65,12 +65,28 @@ type ParallelConfig struct {
 	Quadrupole bool
 	Eps        float64
 	Cost       CostModel
-	// Engine selects each rank's force-evaluation engine (the list
-	// engine by default; bit-identical to the recursive walk).
+	// Engine selects each rank's force-evaluation engine. The zero
+	// value (EngineAuto) resolves through ErrorBudget, like
+	// Forcer.Engine.
 	Engine Engine
-	// GroupWalk amortizes one traversal per leaf bucket on each rank
-	// (conservative group MAC; RMS-bounded, not bit-identical).
+	// ErrorBudget tunes EngineAuto (see Forcer.ErrorBudget).
+	ErrorBudget float64
+	// GroupSize is the target-group granularity of the group and dual
+	// engines (0 = DefaultGroupSize).
+	GroupSize int
+	// GroupWalk is the deprecated spelling of Engine = EngineGroup,
+	// honoured only when Engine is EngineAuto.
 	GroupWalk bool
+}
+
+// resolve maps the config's engine selection and error budget to the
+// engine each rank runs.
+func (cfg *ParallelConfig) resolve() Engine {
+	e := cfg.Engine
+	if e == EngineAuto && cfg.GroupWalk {
+		e = EngineGroup
+	}
+	return ResolveEngine(e, cfg.ErrorBudget)
 }
 
 // Decompose returns each rank's particle indices: contiguous runs of the
@@ -311,13 +327,17 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 		span(c, "force_build", tb0, map[string]any{"sources": len(sources)})
 		tf0 := c.Now()
 		var st Stats
-		switch {
-		case cfg.GroupWalk:
-			// One traversal per leaf bucket. Imported pseudo-particles
+		gsize := cfg.GroupSize
+		if gsize <= 0 {
+			gsize = DefaultGroupSize
+		}
+		switch cfg.resolve() {
+		case EngineGroup:
+			// One traversal per target group. Imported pseudo-particles
 			// (Index < 0) are sources but never targets, so exactly the
 			// rank's own particles receive accelerations.
 			ar := NewWalkArena()
-			for _, li := range ft.AppendLeaves(nil) {
+			for _, li := range ft.AppendGroups(nil, gsize) {
 				ft.GroupForceLeaf(li, cfg.Theta, cfg.Eps, ar, &st)
 				for k := 0; k < ar.NumTargets(); k++ {
 					pi, ax, ay, az := ar.Target(k)
@@ -327,7 +347,22 @@ func ParallelForces(w *mpi.World, s *nbody.System, cfg ParallelConfig) (*Paralle
 				}
 			}
 			ar.FlushTelemetry()
-		case cfg.Engine == EngineRecursive:
+		case EngineDual:
+			// Dual-tree traversal over the rank's LET: targets are the
+			// rank's own particles (imported sources are Index < 0 and
+			// never evaluated), sources the whole local + imported tree.
+			ar := NewWalkArena()
+			for _, ti := range ft.AppendGroups(nil, DualTaskSize) {
+				ft.DualForceWalk(ti, cfg.Theta, cfg.Eps, gsize, nil, ar, &st)
+				for k := 0; k < ar.NumTargets(); k++ {
+					pi, ax, ay, az := ar.Target(k)
+					s.AX[pi] = s.G * ax
+					s.AY[pi] = s.G * ay
+					s.AZ[pi] = s.G * az
+				}
+			}
+			ar.FlushTelemetry()
+		case EngineRecursive:
 			for _, pi := range mine {
 				ax, ay, az := ft.ForceAtRecursive(s.X[pi], s.Y[pi], s.Z[pi], pi, cfg.Theta, cfg.Eps, &st)
 				s.AX[pi] = s.G * ax

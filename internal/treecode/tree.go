@@ -413,7 +413,7 @@ func (t *Tree) ForceAt(x, y, z float64, selfIdx int, theta, eps float64, st *Sta
 // the bit-exact golden reference the list engine is tested against and
 // as the benchmark baseline (Forcer.Engine = EngineRecursive).
 func (t *Tree) ForceAtRecursive(x, y, z float64, selfIdx int, theta, eps float64, st *Stats) (ax, ay, az float64) {
-	eps2 := eps * eps
+	eps2 := softening2(eps)
 	var walk func(ni int32)
 	walk = func(ni int32) {
 		n := &t.Nodes[ni]
@@ -496,13 +496,22 @@ type Forcer struct {
 	// Tracer, when non-nil, records wall-clock spans for the build and
 	// force phases of every call (obs.PidHost).
 	Tracer *obs.Tracer
-	// Engine selects the force-evaluation engine: the list engine by
-	// default (bit-identical to the recursive walk), or EngineRecursive
-	// for the original closure recursion.
+	// Engine selects the force-evaluation engine. The zero value is
+	// EngineAuto: ErrorBudget picks the amortized dual-tree engine by
+	// default, or the bit-identical list engine when the budget demands
+	// exactness. See ResolveEngine.
 	Engine Engine
-	// GroupWalk amortizes one traversal per leaf bucket with a
-	// conservative group MAC. Off by default: results are RMS-bounded
-	// by the per-particle walk's accuracy, not bit-identical to it.
+	// ErrorBudget tunes EngineAuto, in units of the exact theta-walk's
+	// own RMS force error against direct summation: 0 means
+	// DefaultErrorBudget (1, "no worse than the reference engine",
+	// which the dual engine's conservative MAC guarantees); anything
+	// below 1 demands bit-exactness and falls back to EngineList.
+	ErrorBudget float64
+	// GroupSize is the target-group granularity of the group and dual
+	// engines (0 = DefaultGroupSize).
+	GroupSize int
+	// GroupWalk is the deprecated PR 5 spelling of Engine = EngineGroup;
+	// it is honoured only when Engine is EngineAuto.
 	GroupWalk bool
 	// LastStats reports the most recent force computation's work.
 	LastStats Stats
@@ -527,9 +536,34 @@ const (
 	groupGrain = 8
 )
 
+// resolve maps the Forcer's engine selection (including the deprecated
+// GroupWalk bool) and error budget to the engine a call runs.
+func (f *Forcer) resolve() Engine {
+	e := f.Engine
+	if e == EngineAuto && f.GroupWalk {
+		e = EngineGroup
+	}
+	return ResolveEngine(e, f.ErrorBudget)
+}
+
+// groupSize returns the configured target-group granularity.
+func (f *Forcer) groupSize() int {
+	if f.GroupSize > 0 {
+		return f.GroupSize
+	}
+	return DefaultGroupSize
+}
+
 // Forces implements nbody.Forcer: builds a fresh tree over the system and
 // fills its acceleration arrays.
-func (f *Forcer) Forces(s *nbody.System) error {
+func (f *Forcer) Forces(s *nbody.System) error { return f.ForcesActive(s, nil) }
+
+// ForcesActive implements nbody.ActiveForcer: like Forces, but when
+// active is non-nil only particles with active[i] true get their
+// accelerations recomputed (the block-timestep integrator's active
+// rung); the rest keep their previous values. The tree — the source
+// side — always covers every particle at its current position.
+func (f *Forcer) ForcesActive(s *nbody.System, active []bool) error {
 	theta := f.Theta
 	if theta <= 0 {
 		theta = 0.7
@@ -554,10 +588,13 @@ func (f *Forcer) Forces(s *nbody.System) error {
 		f.arenas = append(f.arenas, NewWalkArena())
 	}
 	sp = f.Tracer.Begin(obs.PidHost, 0, "treecode", "forces")
+	sel := t.Select(active)
 	var st Stats
-	switch {
-	case f.GroupWalk:
-		st = f.groupForces(t, s, pool, theta)
+	switch engine := f.resolve(); engine {
+	case EngineGroup:
+		st = f.groupForces(t, s, pool, theta, sel)
+	case EngineDual:
+		st = f.dualForces(t, s, pool, theta, sel)
 	default:
 		// Per-chunk sharded interaction counters: chunk c owns slot c,
 		// the merge folds slots in slot order, so the counts are
@@ -567,11 +604,14 @@ func (f *Forcer) Forces(s *nbody.System) error {
 		nc := par.NumChunks(n, forceGrain)
 		pp := obs.NewShardedCounter(nc)
 		pc := obs.NewShardedCounter(nc)
-		recursive := f.Engine == EngineRecursive
+		recursive := engine == EngineRecursive
 		pool.ForChunksWorker(n, forceGrain, func(w, c, lo, hi int) {
 			ar := f.arenas[w]
 			var cst Stats
 			for i := lo; i < hi; i++ {
+				if active != nil && !active[i] {
+					continue
+				}
 				var ax, ay, az float64
 				if recursive {
 					ax, ay, az = t.ForceAtRecursive(s.X[i], s.Y[i], s.Z[i], i, theta, s.Eps, &cst)
@@ -604,8 +644,8 @@ func (f *Forcer) Forces(s *nbody.System) error {
 // acceleration writes are disjoint, each particle's value is
 // independent of scheduling, and the per-chunk sharded counters keep
 // the stats deterministic at any worker width.
-func (f *Forcer) groupForces(t *Tree, s *nbody.System, pool *par.Pool, theta float64) Stats {
-	f.groups = t.AppendGroups(f.groups[:0], DefaultGroupSize)
+func (f *Forcer) groupForces(t *Tree, s *nbody.System, pool *par.Pool, theta float64, sel *Selection) Stats {
+	f.groups = t.AppendGroups(f.groups[:0], f.groupSize())
 	nl := len(f.groups)
 	nc := par.NumChunks(nl, groupGrain)
 	pp := obs.NewShardedCounter(nc)
@@ -614,7 +654,45 @@ func (f *Forcer) groupForces(t *Tree, s *nbody.System, pool *par.Pool, theta flo
 		ar := f.arenas[w]
 		var cst Stats
 		for li := lo; li < hi; li++ {
-			t.GroupForceLeaf(f.groups[li], theta, s.Eps, ar, &cst)
+			n := &t.Nodes[f.groups[li]]
+			if sel.count(int32(n.First), int32(n.First+n.Count)) == 0 {
+				continue
+			}
+			t.groupForceLeaf(f.groups[li], theta, s.Eps, sel, ar, &cst)
+			for k := 0; k < ar.NumTargets(); k++ {
+				i, ax, ay, az := ar.Target(k)
+				s.AX[i] = s.G * ax
+				s.AY[i] = s.G * ay
+				s.AZ[i] = s.G * az
+			}
+		}
+		pp.Add(c, cst.PP)
+		pc.Add(c, cst.PC)
+	})
+	return Stats{PP: pp.Value(), PC: pc.Value()}
+}
+
+// dualForces runs the dual-tree engine: the work list is the tree's
+// maximal ≤DualTaskSize-particle subtrees, each refined independently
+// against the whole tree. Tasks partition the particles, so
+// acceleration writes are disjoint and — with per-chunk sharded
+// counters — results and stats are bit-identical at any worker width.
+func (f *Forcer) dualForces(t *Tree, s *nbody.System, pool *par.Pool, theta float64, sel *Selection) Stats {
+	f.groups = t.AppendGroups(f.groups[:0], DualTaskSize)
+	nl := len(f.groups)
+	nc := par.NumChunks(nl, 1)
+	pp := obs.NewShardedCounter(nc)
+	pc := obs.NewShardedCounter(nc)
+	gsize := f.groupSize()
+	pool.ForChunksWorker(nl, 1, func(w, c, lo, hi int) {
+		ar := f.arenas[w]
+		var cst Stats
+		for li := lo; li < hi; li++ {
+			n := &t.Nodes[f.groups[li]]
+			if sel.count(int32(n.First), int32(n.First+n.Count)) == 0 {
+				continue
+			}
+			t.DualForceWalk(f.groups[li], theta, s.Eps, gsize, sel, ar, &cst)
 			for k := 0; k < ar.NumTargets(); k++ {
 				i, ax, ay, az := ar.Target(k)
 				s.AX[i] = s.G * ax

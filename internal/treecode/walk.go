@@ -57,9 +57,14 @@ type WalkArena struct {
 	tIdx          []int32
 	tax, tay, taz []float64
 
+	// dual is the dual-tree engine's reusable traversal state.
+	dual dualState
+
 	// Pending telemetry, flushed to the package counters in batches so
 	// the hot loops never touch an atomic.
 	pendWalks, pendCells, pendParts, pendSaved uint64
+	pendDualTasks, pendDualMAC                 uint64
+	pendDualHoisted, pendDualGroups            uint64
 }
 
 // NewWalkArena returns an empty arena (counted by
@@ -89,6 +94,22 @@ func (ar *WalkArena) FlushTelemetry() {
 	if ar.pendSaved > 0 {
 		listGroupSaved.Add(ar.pendSaved)
 		ar.pendSaved = 0
+	}
+	if ar.pendDualTasks > 0 {
+		dualTasks.Add(ar.pendDualTasks)
+		ar.pendDualTasks = 0
+	}
+	if ar.pendDualMAC > 0 {
+		dualMAC.Add(ar.pendDualMAC)
+		ar.pendDualMAC = 0
+	}
+	if ar.pendDualHoisted > 0 {
+		dualHoisted.Add(ar.pendDualHoisted)
+		ar.pendDualHoisted = 0
+	}
+	if ar.pendDualGroups > 0 {
+		dualGroups.Add(ar.pendDualGroups)
+		ar.pendDualGroups = 0
 	}
 }
 
@@ -366,7 +387,7 @@ func (ar *WalkArena) evalPartsExcept(x, y, z, eps2 float64, selfIdx int32, lo, h
 // scratch and carries no state between walks.
 func (t *Tree) ForceAtList(x, y, z float64, selfIdx int, theta, eps float64, st *Stats, ar *WalkArena) (ax, ay, az float64) {
 	t.appendInteractions(ar, x, y, z, selfIdx, theta)
-	eps2 := eps * eps
+	eps2 := softening2(eps)
 	co, po := 0, 0
 	for _, seg := range ar.segs {
 		if seg.cells > 0 {
@@ -393,26 +414,52 @@ func (t *Tree) ForceAtList(x, y, z float64, selfIdx int, theta, eps float64, st 
 var forceArenas = sync.Pool{}
 
 // Engine selects the force-evaluation engine of a Forcer or a parallel
-// configuration. The zero value is the list engine.
+// configuration. The zero value is EngineAuto: the engine is picked by
+// the error budget (see Forcer.ErrorBudget) — the amortized dual-tree
+// engine when an RMS-bounded deviation is acceptable (the default), the
+// bit-identical list engine when the budget demands exactness.
 type Engine int
 
 const (
-	// EngineList is the default: explicit-stack traversal into SoA
+	// EngineAuto resolves through the error budget: a budget of at
+	// least 1 (in units of the exact walk's own RMS error against
+	// direct summation — the default) selects EngineDual, whose
+	// conservative MAC keeps it at or below that error; a smaller
+	// budget demands bit-exactness and falls back to EngineList.
+	EngineAuto Engine = iota
+	// EngineList is the exact engine: explicit-stack traversal into SoA
 	// interaction lists, evaluated in flat kernels. Bit-identical to
-	// EngineRecursive.
-	EngineList Engine = iota
+	// EngineRecursive (and to the PR 5 default) for every
+	// theta/eps/Quadrupole/bucket combination.
+	EngineList
 	// EngineRecursive is the original closure-recursive walk, retained
 	// as the golden reference and benchmark baseline.
 	EngineRecursive
+	// EngineGroup amortizes one traversal per target group of up to
+	// GroupSize particles under a conservative group MAC. RMS-bounded
+	// by the exact walk's error, not bit-identical to it.
+	EngineGroup
+	// EngineDual is the mutual/dual-tree traversal: the tree is walked
+	// against itself, so one MAC decision accepts a source cell for a
+	// whole target subtree and is inherited by every group below it.
+	// Same acceptance criterion (and therefore the same error bound) as
+	// EngineGroup, with both sides of the interaction amortized.
+	EngineDual
 )
 
 // String returns the flag spelling of the engine.
 func (e Engine) String() string {
 	switch e {
+	case EngineAuto:
+		return "auto"
 	case EngineList:
 		return "list"
 	case EngineRecursive:
 		return "recursive"
+	case EngineGroup:
+		return "group"
+	case EngineDual:
+		return "dual"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
@@ -420,10 +467,47 @@ func (e Engine) String() string {
 // ParseEngine parses a -engine flag value.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
-	case "", "list":
+	case "", "auto":
+		return EngineAuto, nil
+	case "list":
 		return EngineList, nil
 	case "recursive":
 		return EngineRecursive, nil
+	case "group", "groupwalk":
+		return EngineGroup, nil
+	case "dual":
+		return EngineDual, nil
 	}
-	return 0, fmt.Errorf("treecode: unknown engine %q (want list or recursive)", s)
+	return 0, fmt.Errorf("treecode: unknown engine %q (want auto, list, recursive, group or dual)", s)
 }
+
+// DefaultErrorBudget is the error budget EngineAuto assumes when none
+// is set: exactly the exact walk's own accuracy. The budget is measured
+// in units of the exact theta-walk's RMS force error against direct
+// summation, so 1 reads "no worse than the reference engine" — which
+// the group/dual engines' conservative MAC guarantees (they open
+// strictly more cells, and measure ~2x better). Any budget below 1 can
+// only be met by bit-exactness and selects the list engine.
+const DefaultErrorBudget = 1.0
+
+// ResolveEngine maps an engine selection plus an error budget to the
+// concrete engine a force computation runs. budget == 0 means "unset"
+// (DefaultErrorBudget); budget < 1 demands exactness. An explicit
+// non-auto engine always wins.
+func ResolveEngine(e Engine, budget float64) Engine {
+	if e != EngineAuto {
+		return e
+	}
+	if budget == 0 {
+		budget = DefaultErrorBudget
+	}
+	if budget < 1 {
+		return EngineList
+	}
+	return EngineDual
+}
+
+// softening2 is the one place the Plummer softening length becomes the
+// squared softening every force kernel consumes — hoisted out of the
+// recursive, list, group and dual paths so they cannot drift.
+func softening2(eps float64) float64 { return eps * eps }
