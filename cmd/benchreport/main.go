@@ -5,9 +5,12 @@
 // allreduce hot path (pooled against the unpooled baseline) and the
 // parallel rank-sweep harness (serial against concurrent).
 //
-//	benchreport -out BENCH_pr6.json            # write the report
+//	benchreport -out BENCH_pr7.json            # write the report
 //	benchreport -guard                         # fail on in-run regressions
 //	benchreport -compare old.json              # fail on >10% ns/op slowdown
+//
+// The report format lives in internal/benchfmt; cmd/gridload merges the
+// experiment gateway's load-test entries into the same file.
 //
 // The -guard checks are machine-independent where possible: simulated
 // cycle counts and virtual makespans are deterministic, so "gears must
@@ -18,7 +21,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -28,6 +30,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernels"
@@ -37,21 +40,12 @@ import (
 	"repro/internal/treecode"
 )
 
-// Entry is one benchmark result.
-type Entry struct {
-	Name        string             `json:"name"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the BENCH_pr6.json envelope.
-type Report struct {
-	Schema     string  `json:"schema"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Results    []Entry `json:"results"`
-}
+// Entry and Report are the shared benchfmt types; the aliases keep the
+// benchmark constructors below readable.
+type (
+	Entry  = benchfmt.Entry
+	Report = benchfmt.Report
+)
 
 // slowdownTolerance is the benchstat-style regression threshold: a
 // guarded pair fails when the measured side is more than 10% slower.
@@ -64,7 +58,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "bench_pr6_v1",
+		Schema:     benchfmt.Schema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
@@ -88,12 +82,7 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		check(err)
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		check(enc.Encode(rep))
-		check(f.Close())
+		check(rep.Write(*out))
 	}
 	if *guard {
 		check(guardReport(&rep))
@@ -525,12 +514,7 @@ func check2(b *testing.B, err error) {
 }
 
 func find(rep *Report, name string) *Entry {
-	for i := range rep.Results {
-		if rep.Results[i].Name == name {
-			return &rep.Results[i]
-		}
-	}
-	return nil
+	return rep.Find(name)
 }
 
 // guardReport applies the in-run regression checks.
@@ -673,13 +657,9 @@ func guardReport(rep *Report) error {
 // from the new report is an error, not a skip. Only meaningful when
 // both reports come from the same machine.
 func compareReports(oldPath string, cur *Report) error {
-	data, err := os.ReadFile(oldPath)
+	old, err := benchfmt.Read(oldPath)
 	if err != nil {
 		return err
-	}
-	var old Report
-	if err := json.Unmarshal(data, &old); err != nil {
-		return fmt.Errorf("%s: %w", oldPath, err)
 	}
 	compared := 0
 	for i := range old.Results {

@@ -1,0 +1,119 @@
+// Command gridd is the simulation-as-a-service gateway: a long-running
+// HTTP daemon that accepts experiment specs as JSON, schedules them on
+// a bounded worker pool with per-tenant fairness, and streams results
+// back — serving repeated submissions from a cache keyed by the spec's
+// canonical hash (the simulator is deterministic, so identical configs
+// are free).
+//
+// Usage:
+//
+//	gridd                          # listen on :8440
+//	gridd -addr :9000 -workers 8
+//	gridd -log-format json -log-level debug
+//
+// API (all JSON):
+//
+//	POST /v1/experiments           submit a spec envelope; waits for the
+//	                               result (202 + id past -request-timeout)
+//	POST /v1/experiments?async=1   202 {id} immediately
+//	GET  /v1/experiments/{id}      poll a submission
+//	GET  /v1/kinds                 registered kinds + canonical defaults
+//	GET  /v1/stats                 the gateway's serve.* obs snapshot
+//	GET  /healthz                  liveness
+//
+// Tenancy is by the X-Tenant header (default "anon"); each tenant gets
+// its own FIFO queue, dispatched round-robin, bounded by -queue-depth.
+// SIGINT/SIGTERM drain in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8440", "listen address")
+	workers := flag.Int("workers", 2, "concurrent experiment executions")
+	depth := flag.Int("queue-depth", 16, "queued jobs allowed per tenant")
+	cacheN := flag.Int("cache", 256, "result-cache entries")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous submit wait before degrading to 202 + poll")
+	drain := flag.Duration("drain", 2*time.Minute, "shutdown grace for in-flight jobs")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
+	flag.Parse()
+
+	log, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridd:", err)
+		os.Exit(2)
+	}
+
+	gw := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *depth,
+		CacheEntries:   *cacheN,
+		RequestTimeout: *reqTimeout,
+		Logger:         log,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: gw.Handler(),
+		// The write timeout must outlast a synchronous submit's wait; the
+		// read side only carries small JSON bodies.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *reqTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Info("gridd listening", "addr", *addr, "workers", *workers, "queue_depth", *depth, "cache", *cacheN)
+
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down", "drain", drain.String())
+	case err := <-errc:
+		log.Error("server failed", "err", err)
+		os.Exit(1)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := gw.Close(shutdownCtx); err != nil {
+		log.Error("drain failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("gridd stopped")
+}
+
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+}

@@ -21,6 +21,10 @@
 // runs Tables 1 and 2 — the instrumented microkernel and scalability
 // experiments whose CMS, MPI and treecode counters populate the
 // snapshot.
+//
+// The flags are a thin parse layer: every selection constructs a
+// core.ExperimentSpec and runs it through the unified experiment API —
+// the same specs the gridd gateway accepts as JSON.
 package main
 
 import (
@@ -28,7 +32,6 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/nas"
 )
 
 func main() {
@@ -42,6 +45,18 @@ func main() {
 	flag.Parse()
 	d.Check(d.Setup())
 
+	table2Spec := func() *core.Table2Spec {
+		return &core.Table2Spec{
+			Particles:  *particles,
+			Concurrent: *sweep,
+			EngineSpec: d.SpecEngine(),
+		}
+	}
+	runSpec := func(s core.ExperimentSpec) {
+		_, err := d.RunSpec(s)
+		d.Check(err)
+	}
+
 	wantObs := d.ObsJSON != "" || d.ObsCSV != "" || d.TracePath != "" || d.Format == "json"
 	if !*all && *table == 0 && *figure == 0 {
 		if !wantObs {
@@ -50,81 +65,34 @@ func main() {
 		}
 		// Observability-only invocation: run the two instrumented
 		// experiments that exercise CMS, MPI and the treecode.
-		_, t1, err := d.Run.Table1()
-		d.Check(err)
-		d.Textf("%s\n", t1)
-		cfg := core.DefaultTable2Config()
-		cfg.Concurrent = *sweep
-		cfg.Engine = d.Engine
-		if *particles > 0 {
-			cfg.Particles = *particles
-		}
-		_, t2, err := d.Run.Table2(cfg)
-		d.Check(err)
-		d.Textf("%s\n", t2)
+		runSpec(&core.Table1Spec{})
+		runSpec(table2Spec())
 		d.Check(d.Finish())
 		return
 	}
 	run := func(n int) bool { return *all || *table == n }
 
 	if run(1) {
-		_, t, err := d.Run.Table1()
-		d.Check(err)
-		d.Textf("%s\n", t)
+		runSpec(&core.Table1Spec{})
 	}
 	if run(2) {
-		cfg := core.DefaultTable2Config()
-		cfg.Concurrent = *sweep
-		cfg.Engine = d.Engine
-		if *particles > 0 {
-			cfg.Particles = *particles
-		}
-		_, t, err := d.Run.Table2(cfg)
-		d.Check(err)
-		d.Textf("%s\n", t)
+		runSpec(table2Spec())
 	}
 	if run(3) {
-		_, t, err := d.Run.Table3(nas.Class((*class)[0]))
-		d.Check(err)
-		d.Textf("%s\n", t)
+		runSpec(&core.Table3Spec{Class: *class})
 	}
 	if run(4) {
-		_, t, err := d.Run.Table4()
-		d.Check(err)
-		d.Textf("%s\n", t)
+		runSpec(&core.Table4Spec{})
 	}
 	if run(5) {
-		_, t, err := d.Run.Table5()
-		d.Check(err)
-		d.Textf("%s\n", t)
-		s, err := d.Run.ToPPeR()
-		d.Check(err)
-		d.Textf("ToPPeR (TCO $/Mflops): traditional %.2f vs blade %.2f — advantage %.2fx\n",
-			s.TradToPPeR, s.BladeToPPeR, s.ToPPeRAdvantage)
-		d.Textf("Acquisition price/perf: traditional %.2f vs blade %.2f (blade costs %.2fx more per Mflops to acquire)\n\n",
-			s.TradPricePerf, s.BladePricePerf, s.PricePerfRatio)
+		runSpec(&core.Table5Spec{})
+		runSpec(&core.ToPPeRSpec{})
 	}
 	if run(6) || run(7) {
-		_, t6, t7, err := d.Run.SpacePower()
-		d.Check(err)
-		if run(6) {
-			d.Textf("%s\n", t6)
-		}
-		if run(7) {
-			d.Textf("%s\n", t7)
-		}
+		runSpec(&core.SpacePowerSpec{Table6: run(6), Table7: run(7)})
 	}
 	if *all || *figure == 3 {
-		cfg := core.DefaultFigure3Config()
-		cfg.Engine = d.Engine
-		if *particles > 0 {
-			cfg.Particles = *particles
-		}
-		img, sys, err := d.Run.Figure3(cfg)
-		d.Check(err)
-		d.Textf("Figure 3: projected density after %d steps of a %d-particle collapse (%d interactions computed)\n",
-			cfg.Steps, cfg.Particles, sys.Interactions)
-		d.Textf("%s\n", img.ASCII())
+		runSpec(&core.Figure3Spec{Particles: *particles, EngineSpec: d.SpecEngine()})
 	}
 	d.Check(d.Finish())
 }

@@ -18,19 +18,16 @@
 // -native selects the native collective algorithms and -contention the
 // per-port fabric occupancy model (both change simulated times and are
 // off by default).
+//
+// The flags are a thin parse layer over core.NASKernelsSpec and
+// core.NASSweepSpec — the same experiment specs the gridd gateway
+// accepts as JSON.
 package main
 
 import (
-	"fmt"
-	"strings"
-	"time"
-
 	"flag"
 
 	"repro/internal/core"
-	"repro/internal/cpu"
-	"repro/internal/nas"
-	"repro/internal/obs"
 )
 
 func main() {
@@ -45,79 +42,25 @@ func main() {
 	contention := flag.Bool("contention", false, "sweep with the per-port fabric occupancy model")
 	flag.Parse()
 	d.Check(d.Setup())
-	snap := d.Run.Snap
 
+	var spec core.ExperimentSpec
 	if *sweep {
-		cfg := core.DefaultNASSweepConfig()
-		cfg.Class = nas.Class((*class)[0])
+		s := &core.NASSweepSpec{
+			Class:      *class,
+			Concurrent: !*serial,
+			Native:     *native,
+			Contention: *contention,
+		}
 		if *ranks > 0 {
-			cfg.Ranks = cfg.Ranks[:0]
 			for p := 1; p <= *ranks; p++ {
-				cfg.Ranks = append(cfg.Ranks, p)
+				s.Ranks = append(s.Ranks, p)
 			}
 		}
-		cfg.Concurrent = !*serial
-		cfg.Native = *native
-		cfg.Contention = *contention
-		_, t, err := d.Run.NASSweep(cfg)
-		d.Check(err)
-		d.Textf("%s\n", t)
-		d.Check(d.Finish())
-		return
+		spec = s
+	} else {
+		spec = &core.NASKernelsSpec{Class: *class, Kernel: *kernel, Rate: rate}
 	}
-
-	var costs []cpu.EffCosts
-	var procs []cpu.Processor
-	if *rate {
-		procs = cpu.NASCPUs()
-		for _, p := range procs {
-			// CalibrateFor is memoized process-wide, so re-rating more
-			// kernels (or tables) shares one calibration per processor.
-			e, err := cpu.CalibrateFor(p, cpu.MissRateClassW)
-			d.Check(err)
-			costs = append(costs, e)
-		}
-	}
-
-	ks := nas.AllKernels()
-	header := fmt.Sprintf("%-4s %-6s %-9s %-14s %-12s", "Code", "Class", "Verified", "Checksum", "Wall")
-	for _, p := range procs {
-		header += fmt.Sprintf(" %18s", shortName(p.Name()))
-	}
-	d.Textf("%s\n", header)
-	for _, k := range ks {
-		if *kernel != "" && !strings.EqualFold(k.Name(), *kernel) {
-			continue
-		}
-		sp := d.Run.Tracer.Begin(obs.PidHost, 0, "nasbench", k.Name())
-		t0 := time.Now()
-		r, err := k.Run(nas.Class((*class)[0]))
-		d.Check(err)
-		wall := time.Since(t0)
-		sp.End(map[string]any{"ops": r.Ops, "verified": r.Verified})
-		kname := obs.SanitizeName(k.Name())
-		snap.AddCounter("nasbench."+kname+".ops", "ops", "abstract operations executed", uint64(r.Ops))
-		snap.AddTimer("nasbench."+kname+".wall", "host wall time running the kernel", wall.Seconds())
-		if r.Verified {
-			snap.AddCounter("nasbench.verified", "", "kernels passing verification", 1)
-		}
-		line := fmt.Sprintf("%-4s %-6s %-9v %-14.6g %-12v",
-			r.Kernel, r.Class, r.Verified, r.Checksum, wall.Round(time.Millisecond))
-		for i, p := range procs {
-			m := costs[i].Mops(r.Ops, &r.Mix)
-			line += fmt.Sprintf(" %15.1f Mops", m)
-			snap.SetGauge("nasbench."+kname+"."+obs.SanitizeName(p.Name())+".mops", "Mops",
-				"kernel rating, class "+string(nas.Class((*class)[0])), m)
-		}
-		d.Textf("%s\n", line)
-	}
+	_, err := d.RunSpec(spec)
+	d.Check(err)
 	d.Check(d.Finish())
-}
-
-func shortName(s string) string {
-	fields := strings.Fields(s)
-	if len(fields) > 2 {
-		return strings.Join(fields[1:], " ")
-	}
-	return s
 }

@@ -13,20 +13,18 @@
 // The force engine comes from the shared -engine/-error-budget driver
 // flags (default: the dual-tree engine); -rungs enables hierarchical
 // block timesteps with DT/2^rungs as the finest step.
+//
+// The flags are a thin parse layer over core.NBodySpec — the same
+// experiment spec the gridd gateway accepts as JSON; the rendering
+// flags (-render, -ascii) stay host-side, fed by the run's system.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/cpu"
-	"repro/internal/mpi"
 	"repro/internal/nbody"
-	"repro/internal/netsim"
-	"repro/internal/obs"
-	"repro/internal/treecode"
 )
 
 func main() {
@@ -44,67 +42,23 @@ func main() {
 	eta := flag.Float64("eta", 0, "block-timestep accuracy parameter (0 = default)")
 	flag.Parse()
 	d.Check(d.Setup())
-	snap := d.Run.Snap
 
-	s := nbody.NewPlummer(*n, 1, 2001)
-	k0, p0 := 0.0, 0.0
-	if *n <= 20000 {
-		k0, p0 = s.Energy()
-	}
-
-	var forcer nbody.Forcer
-	switch {
-	case *direct:
-		forcer = nbody.DirectForcer{}
-	case *ranks > 0:
-		costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateTree)
-		d.Check(err)
-		cm := treecode.CostModel{
-			SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
-			SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
-		}
-		forcer = &parallelForcer{ranks: *ranks, run: d.Run, cfg: treecode.ParallelConfig{
-			Theta: *theta, Quadrupole: *quad, Eps: s.Eps, Cost: cm,
-			Engine: d.Engine,
-		}}
-	default:
-		forcer = &treecode.Forcer{Theta: *theta, Quadrupole: *quad, Tracer: d.Run.Tracer,
-			Engine: d.Engine}
-	}
-
-	var stepper nbody.BlockStepper
-	if *rungs > 0 {
-		err := stepper.Run(s, forcer, nbody.BlockConfig{DT: *dt, MaxRung: *rungs, Eta: *eta}, *steps)
-		d.Check(err)
-		st := stepper.Stats
-		d.Textf("block timesteps: %d substeps, %d force updates (%d saved vs uniform), max rung %d, histogram %v\n",
-			st.Substeps, st.Updates, st.Saved, st.MaxRungUsed, stepper.Histogram())
-		snap.SetGauge("nbodysim.rung.max_used", "", "highest block-timestep rung occupied", float64(st.MaxRungUsed))
-		snap.SetGauge("nbodysim.rung.updates", "", "per-particle force updates performed", float64(st.Updates))
-		snap.SetGauge("nbodysim.rung.saved", "", "force updates avoided vs uniform finest-dt stepping", float64(st.Saved))
-	} else {
-		d.Check(s.Leapfrog(forcer, *dt, *steps))
-	}
-	d.Textf("%d particles, %d steps: %d interactions, %.3g flops (treecode convention)\n",
-		*n, *steps, s.Interactions, float64(s.Flops()))
-	snap.SetGauge("nbodysim.particles", "", "particle count", float64(*n))
-	snap.SetGauge("nbodysim.steps", "", "leapfrog steps", float64(*steps))
-	switch f := forcer.(type) {
-	case *treecode.Forcer:
-		snap.Gather(f)
-	case *parallelForcer:
-		d.Textf("simulated MetaBlade time: %.3f s over %d blades → %.2f Gflops sustained\n",
-			f.simTime, *ranks, float64(s.Flops())/f.simTime/1e9)
-		snap.SetGauge("nbodysim.sim_time", "s", "accumulated simulated cluster time", f.simTime)
-	}
-	if k0 != 0 || p0 != 0 {
-		k1, p1 := s.Energy()
-		drift := abs((k1 + p1 - k0 - p0) / (k0 + p0))
-		d.Textf("energy drift: |ΔE/E| = %.2e\n", drift)
-		snap.SetGauge("nbodysim.energy_drift", "", "relative energy drift over the run", drift)
-	}
+	res, err := d.RunSpec(&core.NBodySpec{
+		N:          *n,
+		Steps:      *steps,
+		DT:         *dt,
+		Theta:      *theta,
+		Direct:     *direct,
+		Quadrupole: *quad,
+		Ranks:      *ranks,
+		Rungs:      *rungs,
+		Eta:        *eta,
+		EngineSpec: d.SpecEngine(),
+	})
+	d.Check(err)
 
 	if *render != "" || *ascii {
+		s := res.Extra.(*nbody.System)
 		img, err := nbody.RenderAuto(s, 72, 36)
 		d.Check(err)
 		if *ascii {
@@ -119,40 +73,4 @@ func main() {
 		}
 	}
 	d.Check(d.Finish())
-}
-
-// parallelForcer adapts treecode.ParallelForces to nbody.Forcer,
-// accumulating simulated cluster time across steps and gathering each
-// step's world and result into the run's snapshot.
-type parallelForcer struct {
-	ranks   int
-	cfg     treecode.ParallelConfig
-	run     *core.Run
-	simTime float64
-	step    int
-}
-
-func (p *parallelForcer) Forces(s *nbody.System) error {
-	w, err := mpi.NewWorld(p.ranks, netsim.FastEthernet())
-	if err != nil {
-		return err
-	}
-	w.Tracer = p.run.Tracer
-	sp := p.run.Tracer.Begin(obs.PidHost, 0, "nbodysim", fmt.Sprintf("step%d", p.step))
-	res, err := treecode.ParallelForces(w, s, p.cfg)
-	if err != nil {
-		return err
-	}
-	sp.End(map[string]any{"sim_time": res.SimTime})
-	p.run.Snap.Gather(w, res)
-	p.simTime += res.SimTime
-	p.step++
-	return nil
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

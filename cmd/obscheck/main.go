@@ -1,8 +1,14 @@
-// Command obscheck validates an obs snapshot JSON artifact against a
-// schema document. CI uses it to pin the driver observability contract:
+// Command obscheck validates the repository's JSON artifacts against
+// their checked-in schema documents. CI uses it to pin three contracts:
+// the driver observability snapshot, the experiment-spec envelope, and
+// the gridd gateway's result document.
 //
 //	metablade -obs-json obs.json -particles 4000
-//	obscheck -schema schema/obs_snapshot_v1.json obs.json
+//	obscheck obs.json
+//	obscheck -mode spec request.json
+//	obscheck -mode result result.json
+//
+// Each mode has a default schema under schema/; -schema overrides it.
 package main
 
 import (
@@ -10,15 +16,36 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
+// modes maps -mode to its default schema and validator.
+var modes = map[string]struct {
+	schema   string
+	validate func(schemaJSON, doc []byte) error
+}{
+	"obs":    {"schema/obs_snapshot_v1.json", obs.ValidateSnapshotJSON},
+	"spec":   {"schema/experiment_spec_v1.json", core.ValidateSpecJSON},
+	"result": {"schema/gridd_result_v1.json", serve.ValidateResultJSON},
+}
+
 func main() {
-	schemaPath := flag.String("schema", "schema/obs_snapshot_v1.json", "schema document to validate against")
+	mode := flag.String("mode", "obs", "artifact type to validate (obs, spec, result)")
+	schemaPath := flag.String("schema", "", "schema document to validate against (default per -mode)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-schema schema.json] snapshot.json...")
+	m, ok := modes[*mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "obscheck: unknown -mode %q (want obs, spec or result)\n", *mode)
 		os.Exit(2)
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-mode obs|spec|result] [-schema schema.json] artifact.json...")
+		os.Exit(2)
+	}
+	if *schemaPath == "" {
+		*schemaPath = m.schema
 	}
 	schemaJSON, err := os.ReadFile(*schemaPath)
 	if err != nil {
@@ -27,9 +54,9 @@ func main() {
 	}
 	bad := false
 	for _, path := range flag.Args() {
-		snap, err := os.ReadFile(path)
+		doc, err := os.ReadFile(path)
 		if err == nil {
-			err = obs.ValidateSnapshotJSON(schemaJSON, snap)
+			err = m.validate(schemaJSON, doc)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)

@@ -7,14 +7,15 @@
 //	toppercalc -nodes 24 -watts 85 -acquisition 17000 -gflops 2.8
 //	toppercalc -blade -nodes 240 -watts 15 -acquisition 260000 -gflops 36
 //	toppercalc -blade -format json
+//
+// The flags are a thin parse layer over core.TCOSpec — the same
+// experiment spec the gridd gateway accepts as JSON.
 package main
 
 import (
 	"flag"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/tco"
 )
 
 func main() {
@@ -31,59 +32,19 @@ func main() {
 	cpuHour := flag.Float64("cpuhour", 5, "downtime charge ($/CPU-hour)")
 	flag.Parse()
 	d.Check(d.Setup())
-	snap := d.Run.Snap
 
-	node := cluster.NodeSpec{
-		Name:                  "custom node",
-		CPUModel:              "custom",
-		WattsLoad:             *watts,
-		RequiresActiveCooling: !*blade,
-	}
-	pack := cluster.TraditionalPackaging()
-	admin := tco.TraditionalAdmin()
-	outages := tco.TraditionalOutages()
-	if *blade {
-		pack = cluster.BladePackaging()
-		admin = tco.BladeAdmin()
-		outages = tco.BladeOutages()
-	}
-	cl, err := cluster.New("custom", node, pack, *nodes, *ambient)
+	_, err := d.RunSpec(&core.TCOSpec{
+		Nodes:       *nodes,
+		Watts:       *watts,
+		Acquisition: *acq,
+		Gflops:      *gflops,
+		Blade:       *blade,
+		Ambient:     *ambient,
+		Years:       *years,
+		KWh:         *kwh,
+		Space:       *space,
+		CPUHour:     *cpuHour,
+	})
 	d.Check(err)
-
-	rates := tco.Rates{
-		AdminPerHour:       100,
-		ElectricityPerKWh:  *kwh,
-		SpacePerSqFtYear:   *space,
-		DowntimePerCPUHour: *cpuHour,
-		Years:              *years,
-	}
-	b, err := tco.Compute(tco.Config{
-		Name:           "custom",
-		AcquisitionUSD: *acq,
-		Cluster:        cl,
-		Admin:          admin,
-		Outages:        outages,
-	}, rates)
-	d.Check(err)
-
-	rel := cluster.DefaultReliability()
-	d.Textf("Cluster: %d nodes, %.1f kW compute + %.1f kW cooling, %.0f ft², %s\n",
-		*nodes, cl.ComputePowerKW(), cl.CoolingPowerKW(), cl.FootprintSqFt(), pack.Name)
-	d.Textf("Reliability model: %.1f expected failures/year, availability %.4f\n\n",
-		cl.ExpectedFailuresPerYear(rel), cl.Availability(rel))
-
-	// The cost breakdown lives in the snapshot; the text rendering is the
-	// snapshot's own table over the topper.* prefix.
-	snap.SetGauge("topper.cost.acquisition", "$", "acquisition cost", b.Acquisition)
-	snap.SetGauge("topper.cost.sysadmin", "$", "system administration over the lifetime", b.SysAdmin)
-	snap.SetGauge("topper.cost.power_cooling", "$", "power and cooling over the lifetime", b.PowerCooling)
-	snap.SetGauge("topper.cost.space", "$", "floor space over the lifetime", b.Space)
-	snap.SetGauge("topper.cost.downtime", "$", "downtime charges over the lifetime", b.Downtime)
-	snap.SetGauge("topper.cost.tco", "$", "total cost of ownership", b.TCO())
-	snap.SetGauge("topper.priceperf", "$/Mflops", "acquisition price/performance", tco.PricePerf(b.Acquisition, *gflops))
-	snap.SetGauge("topper.topper", "$/Mflops", "total price-performance ratio", tco.ToPPeR(b.TCO(), *gflops))
-	snap.SetGauge("topper.perf_space", "Mflop/ft2", "performance per floor space", tco.PerfPerSpace(*gflops, cl.FootprintSqFt()))
-	snap.SetGauge("topper.perf_power", "Gflop/kW", "performance per kilowatt", tco.PerfPerPower(*gflops, cl.TotalPowerKW()))
-	d.Textf("%s\n", snap.Table("Cost of ownership and density ("+cl.Name+")", "topper."))
 	d.Check(d.Finish())
 }

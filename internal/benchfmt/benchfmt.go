@@ -1,0 +1,81 @@
+// Package benchfmt is the shared schema of the repository's benchmark
+// reports (BENCH_pr7.json): cmd/benchreport writes the simulator and
+// host benchmarks, cmd/gridload merges the gateway's load-test numbers
+// into the same file, and CI guards both.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the current report schema tag.
+const Schema = "bench_pr7_v1"
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_pr7.json envelope.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Results    []Entry `json:"results"`
+}
+
+// Find returns the named entry, or nil.
+func (r *Report) Find(name string) *Entry {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Read loads a report from disk. Older schema tags are accepted — the
+// entry format is unchanged since bench_pr6_v1 — so -compare across a
+// schema bump still works.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Write stores the report, indented for diffability.
+func (r *Report) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Merge upserts entries into the report by name.
+func (r *Report) Merge(entries []Entry) {
+	for _, e := range entries {
+		if old := r.Find(e.Name); old != nil {
+			*old = e
+			continue
+		}
+		r.Results = append(r.Results, e)
+	}
+}

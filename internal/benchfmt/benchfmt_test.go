@@ -1,0 +1,45 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportRoundTripAndMerge(t *testing.T) {
+	rep := &Report{Schema: Schema, GoVersion: "go1.24", GOMAXPROCS: 8}
+	rep.Merge([]Entry{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 200, Metrics: map[string]float64{"hit_rate": 1}},
+	})
+	// Merge upserts by name: a replaced, c appended.
+	rep.Merge([]Entry{{Name: "a", NsPerOp: 150}, {Name: "c", NsPerOp: 300}})
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	if e := rep.Find("a"); e == nil || e.NsPerOp != 150 {
+		t.Fatalf("merge did not replace entry a: %+v", e)
+	}
+	if rep.Find("nope") != nil {
+		t.Fatal("Find invented an entry")
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Results) != 3 {
+		t.Fatalf("round trip: schema %q, %d results", got.Schema, len(got.Results))
+	}
+	if e := got.Find("b"); e == nil || e.Metrics["hit_rate"] != 1 {
+		t.Fatalf("metrics lost in round trip: %+v", e)
+	}
+
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v", err)
+	}
+}

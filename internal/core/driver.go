@@ -10,6 +10,7 @@ import (
 	"runtime/metrics"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/nbody"
@@ -99,6 +100,9 @@ func (d *Driver) Setup() error {
 	}
 	if engine == treecode.EngineAuto && d.GroupWalk {
 		engine = treecode.EngineGroup
+		groupWalkWarnOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "%s: warning: -groupwalk is deprecated; use -engine group\n", d.Name)
+		})
 	}
 	d.Engine = treecode.ResolveEngine(engine, d.ErrorBudget)
 	if d.Gears {
@@ -157,6 +161,30 @@ func (d *Driver) startDebugServer() {
 			fmt.Fprintf(os.Stderr, "%s: debug server: %v\n", d.Name, err)
 		}
 	}()
+}
+
+// groupWalkWarnOnce keeps the -groupwalk deprecation notice to a single
+// line per process, however many drivers or flag sets parse it.
+var groupWalkWarnOnce sync.Once
+
+// SpecEngine returns the driver's force-engine flags as the spec API's
+// engine selection, unresolved: the spec's own normalization folds the
+// deprecated -groupwalk alias and the error budget exactly as Setup
+// does, so CLI and HTTP submissions of the same selection hash alike.
+func (d *Driver) SpecEngine() EngineSpec {
+	return EngineSpec{Engine: d.EngineName, ErrorBudget: d.ErrorBudget, GroupWalk: d.GroupWalk}
+}
+
+// RunSpec canonicalizes, validates and executes a spec on the driver's
+// Run, printing its text rendering — the shared experiment path every
+// cmd driver funnels through.
+func (d *Driver) RunSpec(s ExperimentSpec) (*SpecResult, error) {
+	res, err := RunSpec(d.Run, s)
+	if err != nil {
+		return nil, err
+	}
+	d.Textf("%s", res.Text)
+	return res, nil
 }
 
 // Textf prints human-readable output — only in the default text format,

@@ -1,0 +1,844 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/nbody"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/tco"
+	"repro/internal/treecode"
+)
+
+// The concrete experiment kinds. Each spec's Run produces the exact
+// text its CLI driver used to print, so the drivers are thin parse
+// layers and the gateway serves the same experiments over HTTP.
+
+func init() {
+	RegisterSpec("table1", func() ExperimentSpec { return &Table1Spec{} })
+	RegisterSpec("table2", func() ExperimentSpec { return &Table2Spec{} })
+	RegisterSpec("table3", func() ExperimentSpec { return &Table3Spec{} })
+	RegisterSpec("table4", func() ExperimentSpec { return &Table4Spec{} })
+	RegisterSpec("table5", func() ExperimentSpec { return &Table5Spec{} })
+	RegisterSpec("topper", func() ExperimentSpec { return &ToPPeRSpec{} })
+	RegisterSpec("spacepower", func() ExperimentSpec { return &SpacePowerSpec{} })
+	RegisterSpec("figure3", func() ExperimentSpec { return &Figure3Spec{} })
+	RegisterSpec("nassweep", func() ExperimentSpec { return &NASSweepSpec{} })
+	RegisterSpec("naskernels", func() ExperimentSpec { return &NASKernelsSpec{} })
+	RegisterSpec("nbody", func() ExperimentSpec { return &NBodySpec{} })
+	RegisterSpec("tco", func() ExperimentSpec { return &TCOSpec{} })
+}
+
+// EngineSpec is the force-engine selection shared by the treecode
+// experiments, in flag spelling. The zero value means "auto" at the
+// default error budget. GroupWalk is the deprecated PR 5 alias for
+// Engine "group": Normalize folds it into the engine field, so the
+// alias and the spelled-out form canonicalize — and hash — identically.
+type EngineSpec struct {
+	Engine      string  `json:"engine,omitempty"`
+	ErrorBudget float64 `json:"error_budget,omitempty"`
+	GroupWalk   bool    `json:"groupwalk,omitempty"`
+}
+
+func (e *EngineSpec) normalize() {
+	if e.Engine == "" {
+		e.Engine = "auto"
+	}
+	if e.GroupWalk {
+		if e.Engine == "auto" {
+			e.Engine = "group"
+		}
+		e.GroupWalk = false
+	}
+	if e.ErrorBudget == 0 {
+		e.ErrorBudget = treecode.DefaultErrorBudget
+	}
+}
+
+func (e *EngineSpec) validate() error {
+	if _, err := treecode.ParseEngine(e.Engine); err != nil {
+		return err
+	}
+	if e.ErrorBudget < 0 {
+		return fmt.Errorf("negative error_budget %g", e.ErrorBudget)
+	}
+	return nil
+}
+
+// resolve returns the concrete engine the spec selects, mirroring the
+// Driver's flag resolution.
+func (e *EngineSpec) resolve() treecode.Engine {
+	eng, err := treecode.ParseEngine(e.Engine)
+	if err != nil {
+		eng = treecode.EngineAuto
+	}
+	if eng == treecode.EngineAuto && e.GroupWalk {
+		eng = treecode.EngineGroup
+	}
+	return treecode.ResolveEngine(eng, e.ErrorBudget)
+}
+
+// --- table1 ---
+
+// Table1Spec runs the gravitational-microkernel processor comparison.
+// It has no parameters: the paper's five evaluation CPUs are fixed.
+type Table1Spec struct{}
+
+func (*Table1Spec) Kind() string    { return "table1" }
+func (*Table1Spec) Normalize()      {}
+func (*Table1Spec) Validate() error { return nil }
+
+func (*Table1Spec) Run(r *Run) (*SpecResult, error) {
+	rows, t, err := r.Table1()
+	if err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "table1", Text: fmt.Sprintf("%s\n", t), Data: rows}, nil
+}
+
+// --- table2 ---
+
+// Table2Spec runs the MetaBlade N-body scalability sweep.
+type Table2Spec struct {
+	Particles  int     `json:"particles,omitempty"`
+	CPUCounts  []int   `json:"cpu_counts,omitempty"`
+	Theta      float64 `json:"theta,omitempty"`
+	Concurrent bool    `json:"concurrent,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	EngineSpec
+}
+
+func (*Table2Spec) Kind() string { return "table2" }
+
+func (s *Table2Spec) Normalize() {
+	def := DefaultTable2Config()
+	if s.Particles == 0 {
+		s.Particles = def.Particles
+	}
+	if len(s.CPUCounts) == 0 {
+		s.CPUCounts = def.CPUCounts
+	}
+	if s.Theta == 0 {
+		s.Theta = def.Theta
+	}
+	s.EngineSpec.normalize()
+}
+
+func (s *Table2Spec) Validate() error {
+	if s.Particles <= 0 {
+		return fmt.Errorf("particles %d", s.Particles)
+	}
+	for _, p := range s.CPUCounts {
+		if p <= 0 {
+			return fmt.Errorf("cpu count %d", p)
+		}
+	}
+	if s.Theta <= 0 {
+		return fmt.Errorf("theta %g", s.Theta)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("workers %d", s.Workers)
+	}
+	return s.EngineSpec.validate()
+}
+
+func (s *Table2Spec) Run(r *Run) (*SpecResult, error) {
+	cfg := Table2Config{
+		Particles:  s.Particles,
+		CPUCounts:  s.CPUCounts,
+		Theta:      s.Theta,
+		Concurrent: s.Concurrent,
+		Workers:    s.Workers,
+		Engine:     s.resolve(),
+	}
+	rows, t, err := r.Table2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "table2", Text: fmt.Sprintf("%s\n", t), Data: rows}, nil
+}
+
+// --- table3 ---
+
+// Table3Spec runs the NPB kernel × processor rating grid.
+type Table3Spec struct {
+	Class string `json:"class,omitempty"`
+}
+
+func (*Table3Spec) Kind() string { return "table3" }
+
+func (s *Table3Spec) Normalize() {
+	if s.Class == "" {
+		s.Class = "W"
+	}
+	s.Class = strings.ToUpper(s.Class)
+}
+
+func (s *Table3Spec) Validate() error { return validateClass(s.Class) }
+
+func (s *Table3Spec) Run(r *Run) (*SpecResult, error) {
+	data, t, err := r.Table3(nas.Class(s.Class[0]))
+	if err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "table3", Text: fmt.Sprintf("%s\n", t), Data: data}, nil
+}
+
+func validateClass(class string) error {
+	switch class {
+	case "S", "W", "A":
+		return nil
+	}
+	return fmt.Errorf("class %q (want S, W or A)", class)
+}
+
+// --- table4 ---
+
+// Table4Spec rates the historical treecode machines.
+type Table4Spec struct{}
+
+func (*Table4Spec) Kind() string    { return "table4" }
+func (*Table4Spec) Normalize()      {}
+func (*Table4Spec) Validate() error { return nil }
+
+func (*Table4Spec) Run(r *Run) (*SpecResult, error) {
+	rows, t, err := r.Table4()
+	if err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "table4", Text: fmt.Sprintf("%s\n", t), Data: rows}, nil
+}
+
+// --- table5 ---
+
+// Table5Spec computes the four-year cost-of-ownership table.
+type Table5Spec struct{}
+
+func (*Table5Spec) Kind() string    { return "table5" }
+func (*Table5Spec) Normalize()      {}
+func (*Table5Spec) Validate() error { return nil }
+
+func (*Table5Spec) Run(r *Run) (*SpecResult, error) {
+	rows, t, err := r.Table5()
+	if err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "table5", Text: fmt.Sprintf("%s\n", t), Data: rows}, nil
+}
+
+// --- topper ---
+
+// ToPPeRSpec computes the §4.1 ToPPeR versus price/performance
+// comparison of the blade against a comparably clocked traditional
+// Beowulf.
+type ToPPeRSpec struct{}
+
+func (*ToPPeRSpec) Kind() string    { return "topper" }
+func (*ToPPeRSpec) Normalize()      {}
+func (*ToPPeRSpec) Validate() error { return nil }
+
+func (*ToPPeRSpec) Run(r *Run) (*SpecResult, error) {
+	s, err := r.ToPPeR()
+	if err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("ToPPeR (TCO $/Mflops): traditional %.2f vs blade %.2f — advantage %.2fx\n",
+		s.TradToPPeR, s.BladeToPPeR, s.ToPPeRAdvantage) +
+		fmt.Sprintf("Acquisition price/perf: traditional %.2f vs blade %.2f (blade costs %.2fx more per Mflops to acquire)\n\n",
+			s.TradPricePerf, s.BladePricePerf, s.PricePerfRatio)
+	return &SpecResult{Kind: "topper", Text: text, Data: s}, nil
+}
+
+// --- spacepower ---
+
+// SpacePowerSpec builds the performance/space and performance/power
+// comparisons (Tables 6 and 7). With neither toggle set, both render.
+type SpacePowerSpec struct {
+	Table6 bool `json:"table6,omitempty"`
+	Table7 bool `json:"table7,omitempty"`
+}
+
+func (*SpacePowerSpec) Kind() string { return "spacepower" }
+
+func (s *SpacePowerSpec) Normalize() {
+	if !s.Table6 && !s.Table7 {
+		s.Table6, s.Table7 = true, true
+	}
+}
+
+func (*SpacePowerSpec) Validate() error { return nil }
+
+func (s *SpacePowerSpec) Run(r *Run) (*SpecResult, error) {
+	rows, t6, t7, err := r.SpacePower()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	if s.Table6 {
+		fmt.Fprintf(&b, "%s\n", t6)
+	}
+	if s.Table7 {
+		fmt.Fprintf(&b, "%s\n", t7)
+	}
+	return &SpecResult{Kind: "spacepower", Text: b.String(), Data: rows}, nil
+}
+
+// --- figure3 ---
+
+// Figure3Spec runs the self-gravitating collapse and renders the
+// projected density as ASCII art.
+type Figure3Spec struct {
+	Particles int `json:"particles,omitempty"`
+	Steps     int `json:"steps,omitempty"`
+	Width     int `json:"width,omitempty"`
+	Height    int `json:"height,omitempty"`
+	EngineSpec
+}
+
+func (*Figure3Spec) Kind() string { return "figure3" }
+
+func (s *Figure3Spec) Normalize() {
+	def := DefaultFigure3Config()
+	if s.Particles == 0 {
+		s.Particles = def.Particles
+	}
+	if s.Steps == 0 {
+		s.Steps = def.Steps
+	}
+	if s.Width == 0 {
+		s.Width = def.Width
+	}
+	if s.Height == 0 {
+		s.Height = def.Height
+	}
+	s.EngineSpec.normalize()
+}
+
+func (s *Figure3Spec) Validate() error {
+	if s.Particles <= 0 || s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("particles %d, width %d, height %d", s.Particles, s.Width, s.Height)
+	}
+	if s.Steps < 0 {
+		return fmt.Errorf("steps %d", s.Steps)
+	}
+	return s.EngineSpec.validate()
+}
+
+// Figure3Data is the structured result of a figure3 run.
+type Figure3Data struct {
+	Particles    int    `json:"particles"`
+	Steps        int    `json:"steps"`
+	Interactions uint64 `json:"interactions"`
+}
+
+func (s *Figure3Spec) Run(r *Run) (*SpecResult, error) {
+	cfg := Figure3Config{
+		Particles: s.Particles,
+		Steps:     s.Steps,
+		Width:     s.Width,
+		Height:    s.Height,
+		Engine:    s.resolve(),
+	}
+	img, sys, err := r.Figure3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("Figure 3: projected density after %d steps of a %d-particle collapse (%d interactions computed)\n",
+		cfg.Steps, cfg.Particles, sys.Interactions) +
+		fmt.Sprintf("%s\n", img.ASCII())
+	return &SpecResult{
+		Kind:  "figure3",
+		Text:  text,
+		Data:  Figure3Data{Particles: cfg.Particles, Steps: cfg.Steps, Interactions: sys.Interactions},
+		Extra: sys,
+	}, nil
+}
+
+// --- nassweep ---
+
+// NASSweepSpec runs the parallel NAS EP/IS rank sweep on the simulated
+// cluster.
+type NASSweepSpec struct {
+	Class      string `json:"class,omitempty"`
+	Ranks      []int  `json:"ranks,omitempty"`
+	Concurrent bool   `json:"concurrent,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Native     bool   `json:"native,omitempty"`
+	Contention bool   `json:"contention,omitempty"`
+}
+
+func (*NASSweepSpec) Kind() string { return "nassweep" }
+
+func (s *NASSweepSpec) Normalize() {
+	if s.Class == "" {
+		s.Class = "S"
+	}
+	s.Class = strings.ToUpper(s.Class)
+	if len(s.Ranks) == 0 {
+		s.Ranks = DefaultNASSweepConfig().Ranks
+	}
+}
+
+func (s *NASSweepSpec) Validate() error {
+	if err := validateClass(s.Class); err != nil {
+		return err
+	}
+	for _, p := range s.Ranks {
+		if p <= 0 {
+			return fmt.Errorf("rank count %d", p)
+		}
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("workers %d", s.Workers)
+	}
+	return nil
+}
+
+func (s *NASSweepSpec) Run(r *Run) (*SpecResult, error) {
+	cfg := NASSweepConfig{
+		Class:      nas.Class(s.Class[0]),
+		Ranks:      s.Ranks,
+		Concurrent: s.Concurrent,
+		Workers:    s.Workers,
+		Native:     s.Native,
+		Contention: s.Contention,
+	}
+	rows, t, err := r.NASSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "nassweep", Text: fmt.Sprintf("%s\n", t), Data: rows}, nil
+}
+
+// --- naskernels ---
+
+// NASKernelsSpec runs the serial NPB kernels, verifies them, and
+// (by default) rates them on the Table 3 processors. Rate is a pointer
+// so an omitted field means the flag default, true.
+type NASKernelsSpec struct {
+	Class  string `json:"class,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+	Rate   *bool  `json:"rate,omitempty"`
+}
+
+func (*NASKernelsSpec) Kind() string { return "naskernels" }
+
+func (s *NASKernelsSpec) Normalize() {
+	if s.Class == "" {
+		s.Class = "S"
+	}
+	s.Class = strings.ToUpper(s.Class)
+	s.Kernel = strings.ToUpper(s.Kernel)
+	if s.Rate == nil {
+		t := true
+		s.Rate = &t
+	}
+}
+
+func (s *NASKernelsSpec) Validate() error {
+	if err := validateClass(s.Class); err != nil {
+		return err
+	}
+	if s.Kernel != "" {
+		found := false
+		for _, k := range nas.AllKernels() {
+			if strings.EqualFold(k.Name(), s.Kernel) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown kernel %q", s.Kernel)
+		}
+	}
+	return nil
+}
+
+// NASKernelRow is one kernel's verification and rating result.
+type NASKernelRow struct {
+	Kernel   string    `json:"kernel"`
+	Class    string    `json:"class"`
+	Verified bool      `json:"verified"`
+	Checksum float64   `json:"checksum"`
+	WallSec  float64   `json:"wall_sec"`
+	Mops     []float64 `json:"mops,omitempty"`
+}
+
+func (s *NASKernelsSpec) Run(r *Run) (*SpecResult, error) {
+	snap := r.Snap
+	var costs []cpu.EffCosts
+	var procs []cpu.Processor
+	if *s.Rate {
+		procs = cpu.NASCPUs()
+		for _, p := range procs {
+			// CalibrateFor is memoized process-wide, so re-rating more
+			// kernels (or tables) shares one calibration per processor.
+			e, err := cpu.CalibrateFor(p, cpu.MissRateClassW)
+			if err != nil {
+				return nil, err
+			}
+			costs = append(costs, e)
+		}
+	}
+	var b strings.Builder
+	header := fmt.Sprintf("%-4s %-6s %-9s %-14s %-12s", "Code", "Class", "Verified", "Checksum", "Wall")
+	for _, p := range procs {
+		header += fmt.Sprintf(" %18s", nasShortName(p.Name()))
+	}
+	fmt.Fprintf(&b, "%s\n", header)
+	var rows []NASKernelRow
+	for _, k := range nas.AllKernels() {
+		if s.Kernel != "" && !strings.EqualFold(k.Name(), s.Kernel) {
+			continue
+		}
+		sp := r.Tracer.Begin(obs.PidHost, 0, "nasbench", k.Name())
+		t0 := time.Now()
+		kr, err := k.Run(nas.Class(s.Class[0]))
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0)
+		sp.End(map[string]any{"ops": kr.Ops, "verified": kr.Verified})
+		kname := obs.SanitizeName(k.Name())
+		snap.AddCounter("nasbench."+kname+".ops", "ops", "abstract operations executed", uint64(kr.Ops))
+		snap.AddTimer("nasbench."+kname+".wall", "host wall time running the kernel", wall.Seconds())
+		if kr.Verified {
+			snap.AddCounter("nasbench.verified", "", "kernels passing verification", 1)
+		}
+		line := fmt.Sprintf("%-4s %-6s %-9v %-14.6g %-12v",
+			kr.Kernel, kr.Class, kr.Verified, kr.Checksum, wall.Round(time.Millisecond))
+		row := NASKernelRow{
+			Kernel:   kr.Kernel,
+			Class:    string(kr.Class),
+			Verified: kr.Verified,
+			Checksum: kr.Checksum,
+			WallSec:  wall.Seconds(),
+		}
+		for i, p := range procs {
+			m := costs[i].Mops(kr.Ops, &kr.Mix)
+			line += fmt.Sprintf(" %15.1f Mops", m)
+			row.Mops = append(row.Mops, m)
+			snap.SetGauge("nasbench."+kname+"."+obs.SanitizeName(p.Name())+".mops", "Mops",
+				"kernel rating, class "+s.Class, m)
+		}
+		fmt.Fprintf(&b, "%s\n", line)
+		rows = append(rows, row)
+	}
+	return &SpecResult{Kind: "naskernels", Text: b.String(), Data: rows}, nil
+}
+
+// nasShortName trims a processor name for the naskernels table header.
+func nasShortName(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) > 2 {
+		return strings.Join(fields[1:], " ")
+	}
+	return s
+}
+
+// --- nbody ---
+
+// NBodySpec runs a gravitational N-body scenario: serial or on the
+// simulated Bladed Beowulf, direct or tree-accelerated, uniform
+// leapfrog or hierarchical block timesteps.
+type NBodySpec struct {
+	N          int     `json:"n,omitempty"`
+	Steps      int     `json:"steps,omitempty"`
+	DT         float64 `json:"dt,omitempty"`
+	Theta      float64 `json:"theta,omitempty"`
+	Direct     bool    `json:"direct,omitempty"`
+	Quadrupole bool    `json:"quadrupole,omitempty"`
+	Ranks      int     `json:"ranks,omitempty"`
+	Rungs      int     `json:"rungs,omitempty"`
+	Eta        float64 `json:"eta,omitempty"`
+	EngineSpec
+}
+
+func (*NBodySpec) Kind() string { return "nbody" }
+
+func (s *NBodySpec) Normalize() {
+	if s.N == 0 {
+		s.N = 20000
+	}
+	if s.Steps == 0 {
+		s.Steps = 10
+	}
+	if s.DT == 0 {
+		s.DT = 0.005
+	}
+	if s.Theta == 0 {
+		s.Theta = 0.7
+	}
+	s.EngineSpec.normalize()
+}
+
+func (s *NBodySpec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("n %d", s.N)
+	}
+	if s.Steps < 0 {
+		return fmt.Errorf("steps %d", s.Steps)
+	}
+	if s.DT <= 0 {
+		return fmt.Errorf("dt %g", s.DT)
+	}
+	if s.Theta <= 0 {
+		return fmt.Errorf("theta %g", s.Theta)
+	}
+	if s.Ranks < 0 || s.Rungs < 0 {
+		return fmt.Errorf("ranks %d, rungs %d", s.Ranks, s.Rungs)
+	}
+	if s.Eta < 0 {
+		return fmt.Errorf("eta %g", s.Eta)
+	}
+	return s.EngineSpec.validate()
+}
+
+// NBodyData is the structured result of an nbody run.
+type NBodyData struct {
+	Particles    int     `json:"particles"`
+	Steps        int     `json:"steps"`
+	Interactions uint64  `json:"interactions"`
+	Flops        uint64  `json:"flops"`
+	SimTimeSec   float64 `json:"sim_time_sec,omitempty"`
+	EnergyDrift  float64 `json:"energy_drift,omitempty"`
+}
+
+func (s *NBodySpec) Run(r *Run) (*SpecResult, error) {
+	snap := r.Snap
+	var b strings.Builder
+	sys := nbody.NewPlummer(s.N, 1, 2001)
+	k0, p0 := 0.0, 0.0
+	if s.N <= 20000 {
+		k0, p0 = sys.Energy()
+	}
+
+	engine := s.resolve()
+	var forcer nbody.Forcer
+	switch {
+	case s.Direct:
+		forcer = nbody.DirectForcer{}
+	case s.Ranks > 0:
+		costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateTree)
+		if err != nil {
+			return nil, err
+		}
+		cm := treecode.CostModel{
+			SecondsPerInteraction: costs.Seconds(treecode.InteractionMix()),
+			SecondsPerBuildSource: costs.Seconds(treecode.BuildMix()),
+		}
+		forcer = &nbodyParallelForcer{ranks: s.Ranks, run: r, cfg: treecode.ParallelConfig{
+			Theta: s.Theta, Quadrupole: s.Quadrupole, Eps: sys.Eps, Cost: cm,
+			Engine: engine,
+		}}
+	default:
+		forcer = &treecode.Forcer{Theta: s.Theta, Quadrupole: s.Quadrupole, Tracer: r.Tracer,
+			Engine: engine}
+	}
+
+	data := NBodyData{Particles: s.N, Steps: s.Steps}
+	var stepper nbody.BlockStepper
+	if s.Rungs > 0 {
+		err := stepper.Run(sys, forcer, nbody.BlockConfig{DT: s.DT, MaxRung: s.Rungs, Eta: s.Eta}, s.Steps)
+		if err != nil {
+			return nil, err
+		}
+		st := stepper.Stats
+		fmt.Fprintf(&b, "block timesteps: %d substeps, %d force updates (%d saved vs uniform), max rung %d, histogram %v\n",
+			st.Substeps, st.Updates, st.Saved, st.MaxRungUsed, stepper.Histogram())
+		snap.SetGauge("nbodysim.rung.max_used", "", "highest block-timestep rung occupied", float64(st.MaxRungUsed))
+		snap.SetGauge("nbodysim.rung.updates", "", "per-particle force updates performed", float64(st.Updates))
+		snap.SetGauge("nbodysim.rung.saved", "", "force updates avoided vs uniform finest-dt stepping", float64(st.Saved))
+	} else {
+		if err := sys.Leapfrog(forcer, s.DT, s.Steps); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Fprintf(&b, "%d particles, %d steps: %d interactions, %.3g flops (treecode convention)\n",
+		s.N, s.Steps, sys.Interactions, float64(sys.Flops()))
+	data.Interactions = sys.Interactions
+	data.Flops = sys.Flops()
+	snap.SetGauge("nbodysim.particles", "", "particle count", float64(s.N))
+	snap.SetGauge("nbodysim.steps", "", "leapfrog steps", float64(s.Steps))
+	switch f := forcer.(type) {
+	case *treecode.Forcer:
+		snap.Gather(f)
+	case *nbodyParallelForcer:
+		fmt.Fprintf(&b, "simulated MetaBlade time: %.3f s over %d blades → %.2f Gflops sustained\n",
+			f.simTime, s.Ranks, float64(sys.Flops())/f.simTime/1e9)
+		snap.SetGauge("nbodysim.sim_time", "s", "accumulated simulated cluster time", f.simTime)
+		data.SimTimeSec = f.simTime
+	}
+	if k0 != 0 || p0 != 0 {
+		k1, p1 := sys.Energy()
+		drift := math.Abs((k1 + p1 - k0 - p0) / (k0 + p0))
+		fmt.Fprintf(&b, "energy drift: |ΔE/E| = %.2e\n", drift)
+		snap.SetGauge("nbodysim.energy_drift", "", "relative energy drift over the run", drift)
+		data.EnergyDrift = drift
+	}
+	return &SpecResult{Kind: "nbody", Text: b.String(), Data: data, Extra: sys}, nil
+}
+
+// nbodyParallelForcer adapts treecode.ParallelForces to nbody.Forcer,
+// accumulating simulated cluster time across steps and gathering each
+// step's world and result into the run's snapshot.
+type nbodyParallelForcer struct {
+	ranks   int
+	cfg     treecode.ParallelConfig
+	run     *Run
+	simTime float64
+	step    int
+}
+
+func (p *nbodyParallelForcer) Forces(s *nbody.System) error {
+	w, err := mpi.NewWorld(p.ranks, netsim.FastEthernet())
+	if err != nil {
+		return err
+	}
+	w.Tracer = p.run.Tracer
+	sp := p.run.Tracer.Begin(obs.PidHost, 0, "nbodysim", fmt.Sprintf("step%d", p.step))
+	res, err := treecode.ParallelForces(w, s, p.cfg)
+	if err != nil {
+		return err
+	}
+	sp.End(map[string]any{"sim_time": res.SimTime})
+	p.run.Snap.Gather(w, res)
+	p.simTime += res.SimTime
+	p.step++
+	return nil
+}
+
+// --- tco ---
+
+// TCOSpec evaluates the paper's cost model — TCO and ToPPeR — for a
+// user-described cluster. Zero numeric fields take the toppercalc flag
+// defaults; note that makes an explicit zero unrepresentable, which is
+// fine for quantities that must be positive to mean anything.
+type TCOSpec struct {
+	Nodes       int     `json:"nodes,omitempty"`
+	Watts       float64 `json:"watts,omitempty"`
+	Acquisition float64 `json:"acquisition,omitempty"`
+	Gflops      float64 `json:"gflops,omitempty"`
+	Blade       bool    `json:"blade,omitempty"`
+	Ambient     float64 `json:"ambient,omitempty"`
+	Years       float64 `json:"years,omitempty"`
+	KWh         float64 `json:"kwh,omitempty"`
+	Space       float64 `json:"space,omitempty"`
+	CPUHour     float64 `json:"cpu_hour,omitempty"`
+}
+
+func (*TCOSpec) Kind() string { return "tco" }
+
+func (s *TCOSpec) Normalize() {
+	if s.Nodes == 0 {
+		s.Nodes = 24
+	}
+	if s.Watts == 0 {
+		s.Watts = 85
+	}
+	if s.Acquisition == 0 {
+		s.Acquisition = 17000
+	}
+	if s.Gflops == 0 {
+		s.Gflops = 2.8
+	}
+	if s.Ambient == 0 {
+		s.Ambient = 24
+	}
+	if s.Years == 0 {
+		s.Years = 4
+	}
+	if s.KWh == 0 {
+		s.KWh = 0.10
+	}
+	if s.Space == 0 {
+		s.Space = 100
+	}
+	if s.CPUHour == 0 {
+		s.CPUHour = 5
+	}
+}
+
+func (s *TCOSpec) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("nodes %d", s.Nodes)
+	}
+	for name, v := range map[string]float64{
+		"watts": s.Watts, "acquisition": s.Acquisition, "gflops": s.Gflops,
+		"years": s.Years, "kwh": s.KWh, "space": s.Space, "cpu_hour": s.CPUHour,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("%s %g", name, v)
+		}
+	}
+	return nil
+}
+
+func (s *TCOSpec) Run(r *Run) (*SpecResult, error) {
+	snap := r.Snap
+	node := cluster.NodeSpec{
+		Name:                  "custom node",
+		CPUModel:              "custom",
+		WattsLoad:             s.Watts,
+		RequiresActiveCooling: !s.Blade,
+	}
+	pack := cluster.TraditionalPackaging()
+	admin := tco.TraditionalAdmin()
+	outages := tco.TraditionalOutages()
+	if s.Blade {
+		pack = cluster.BladePackaging()
+		admin = tco.BladeAdmin()
+		outages = tco.BladeOutages()
+	}
+	cl, err := cluster.New("custom", node, pack, s.Nodes, s.Ambient)
+	if err != nil {
+		return nil, err
+	}
+
+	rates := tco.Rates{
+		AdminPerHour:       100,
+		ElectricityPerKWh:  s.KWh,
+		SpacePerSqFtYear:   s.Space,
+		DowntimePerCPUHour: s.CPUHour,
+		Years:              s.Years,
+	}
+	b, err := tco.Compute(tco.Config{
+		Name:           "custom",
+		AcquisitionUSD: s.Acquisition,
+		Cluster:        cl,
+		Admin:          admin,
+		Outages:        outages,
+	}, rates)
+	if err != nil {
+		return nil, err
+	}
+
+	rel := cluster.DefaultReliability()
+	var text strings.Builder
+	fmt.Fprintf(&text, "Cluster: %d nodes, %.1f kW compute + %.1f kW cooling, %.0f ft², %s\n",
+		s.Nodes, cl.ComputePowerKW(), cl.CoolingPowerKW(), cl.FootprintSqFt(), pack.Name)
+	fmt.Fprintf(&text, "Reliability model: %.1f expected failures/year, availability %.4f\n\n",
+		cl.ExpectedFailuresPerYear(rel), cl.Availability(rel))
+
+	// The cost breakdown lives in the snapshot; the text rendering is the
+	// snapshot's own table over the topper.* prefix.
+	snap.SetGauge("topper.cost.acquisition", "$", "acquisition cost", b.Acquisition)
+	snap.SetGauge("topper.cost.sysadmin", "$", "system administration over the lifetime", b.SysAdmin)
+	snap.SetGauge("topper.cost.power_cooling", "$", "power and cooling over the lifetime", b.PowerCooling)
+	snap.SetGauge("topper.cost.space", "$", "floor space over the lifetime", b.Space)
+	snap.SetGauge("topper.cost.downtime", "$", "downtime charges over the lifetime", b.Downtime)
+	snap.SetGauge("topper.cost.tco", "$", "total cost of ownership", b.TCO())
+	snap.SetGauge("topper.priceperf", "$/Mflops", "acquisition price/performance", tco.PricePerf(b.Acquisition, s.Gflops))
+	snap.SetGauge("topper.topper", "$/Mflops", "total price-performance ratio", tco.ToPPeR(b.TCO(), s.Gflops))
+	snap.SetGauge("topper.perf_space", "Mflop/ft2", "performance per floor space", tco.PerfPerSpace(s.Gflops, cl.FootprintSqFt()))
+	snap.SetGauge("topper.perf_power", "Gflop/kW", "performance per kilowatt", tco.PerfPerPower(s.Gflops, cl.TotalPowerKW()))
+	fmt.Fprintf(&text, "%s\n", snap.Table("Cost of ownership and density ("+cl.Name+")", "topper."))
+	return &SpecResult{Kind: "tco", Text: text.String(), Data: b}, nil
+}

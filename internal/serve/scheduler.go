@@ -1,0 +1,217 @@
+// Package serve is the simulation-as-a-service layer behind cmd/gridd:
+// a scheduler that runs core.ExperimentSpec submissions on a bounded
+// worker pool with per-tenant fairness and a queue-depth limit, a
+// result cache keyed by the spec's canonical hash (the simulator is
+// deterministic, so identical submissions are free hits), and the HTTP
+// handlers that expose both as a REST/JSON API.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrQueueFull rejects a submission when the tenant's queue is at its
+// depth limit. The HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("serve: tenant queue full")
+
+// ErrClosed rejects submissions after shutdown has begun. The HTTP
+// layer maps it to 503.
+var ErrClosed = errors.New("serve: shutting down")
+
+// jobStatus is the lifecycle of one submission.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// job is one scheduled experiment execution. A job is shared by every
+// coalesced submission of the same spec hash; done closes exactly once,
+// after which doc/errMsg are immutable.
+type job struct {
+	id     string
+	tenant string
+	kind   string
+	hash   string
+	spec   core.ExperimentSpec
+
+	done    chan struct{}
+	status  jobStatus
+	doc     []byte // deterministic result document, set on success
+	errMsg  string // set on failure
+	elapsed time.Duration
+}
+
+// scheduler owns the worker pool and the per-tenant queues. Fairness is
+// strict round-robin over tenants with pending work: a tenant
+// submitting thousands of jobs cannot starve one submitting a single
+// job, because each dispatch takes the head of the next non-empty
+// tenant queue in rotation.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[string][]*job // per-tenant FIFO
+	tenants []string          // rotation order (first-seen)
+	rr      int               // round-robin cursor into tenants
+	queued  int               // total queued jobs, all tenants
+	running int
+	depth   int // per-tenant queue-depth limit
+
+	inflight map[string]*job // spec hash → queued-or-running job (single flight)
+	jobs     map[string]*job // job id → job, for async polling
+	nextID   int
+
+	closed  bool
+	wg      sync.WaitGroup
+	execute func(*job)
+}
+
+func newScheduler(workers, depth int, execute func(*job)) *scheduler {
+	s := &scheduler{
+		queues:   map[string][]*job{},
+		inflight: map[string]*job{},
+		jobs:     map[string]*job{},
+		depth:    depth,
+		execute:  execute,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// submit enqueues a spec for a tenant, or returns the already-queued or
+// running job for the same hash (coalesced reports that). The caller
+// has already consulted the result cache.
+func (s *scheduler) submit(tenant, kind, hash string, spec core.ExperimentSpec) (j *job, coalesced bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := s.inflight[hash]; ok {
+		return j, true, nil
+	}
+	if len(s.queues[tenant]) >= s.depth {
+		return nil, false, fmt.Errorf("%w: %d jobs queued for %q", ErrQueueFull, len(s.queues[tenant]), tenant)
+	}
+	s.nextID++
+	j = &job{
+		id:     fmt.Sprintf("j%06d", s.nextID),
+		tenant: tenant,
+		kind:   kind,
+		hash:   hash,
+		spec:   spec,
+		done:   make(chan struct{}),
+		status: statusQueued,
+	}
+	if _, seen := s.queues[tenant]; !seen {
+		s.tenants = append(s.tenants, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], j)
+	s.queued++
+	s.inflight[hash] = j
+	s.jobs[j.id] = j
+	s.cond.Signal()
+	return j, false, nil
+}
+
+// lookup returns a job by id.
+func (s *scheduler) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// pick pops the next job in tenant rotation. Callers hold s.mu.
+func (s *scheduler) pick() *job {
+	n := len(s.tenants)
+	for i := 0; i < n; i++ {
+		idx := (s.rr + i) % n
+		tenant := s.tenants[idx]
+		q := s.queues[tenant]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		s.queues[tenant] = q[1:]
+		s.queued--
+		s.rr = idx + 1
+		return j
+	}
+	return nil
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *job
+		for {
+			j = s.pick()
+			if j != nil || s.closed {
+				break
+			}
+			s.cond.Wait()
+		}
+		if j == nil {
+			s.mu.Unlock()
+			return
+		}
+		j.status = statusRunning
+		s.running++
+		s.mu.Unlock()
+
+		t0 := time.Now()
+		s.runOne(j)
+		j.elapsed = time.Since(t0)
+
+		s.mu.Lock()
+		s.running--
+		delete(s.inflight, j.hash)
+		s.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// runOne executes the job's spec, converting panics into failed jobs so
+// one poisonous submission cannot take a worker down.
+func (s *scheduler) runOne(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.status = statusFailed
+			j.errMsg = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	s.execute(j)
+}
+
+// close stops intake and wakes idle workers; drain waits for the pool.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *scheduler) drain() {
+	s.wg.Wait()
+}
+
+// depthStats reports queue occupancy for the stats endpoint.
+func (s *scheduler) depthStats() (queued, running, tenants int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.running, len(s.tenants)
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+
+	"repro/internal/core"
+)
+
+// ResultSchema is the checked-in contract a gateway result document
+// must satisfy (schema/gridd_result_v1.json).
+type ResultSchema struct {
+	// Schema is the exact result api version string required.
+	Schema string `json:"schema"`
+	// SpecAPI is the envelope version the embedded spec must carry.
+	SpecAPI string `json:"spec_api"`
+	// HashPattern anchors the spec_hash format.
+	HashPattern string `json:"hash_pattern"`
+}
+
+// ValidateResultJSON checks a result document against the schema and
+// against itself: the embedded spec must decode and re-hash to the
+// document's spec_hash, the result kind must agree, and the obs payload
+// must be JSON. It is the contract check CI runs on gateway output.
+func ValidateResultJSON(schemaJSON, doc []byte) error {
+	var sc ResultSchema
+	if err := json.Unmarshal(schemaJSON, &sc); err != nil {
+		return fmt.Errorf("serve: bad result schema document: %w", err)
+	}
+	if sc.Schema != ResultAPI {
+		return fmt.Errorf("serve: result schema document is for %q, want %q", sc.Schema, ResultAPI)
+	}
+	hashRe, err := regexp.Compile(sc.HashPattern)
+	if err != nil {
+		return fmt.Errorf("serve: bad hash_pattern: %w", err)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.DisallowUnknownFields()
+	var rd resultDoc
+	if err := dec.Decode(&rd); err != nil {
+		return fmt.Errorf("serve: bad result document: %w", err)
+	}
+	if rd.API != ResultAPI {
+		return fmt.Errorf("serve: result api %q, want %q", rd.API, ResultAPI)
+	}
+	if !hashRe.MatchString(rd.SpecHash) {
+		return fmt.Errorf("serve: spec_hash %q does not match %q", rd.SpecHash, sc.HashPattern)
+	}
+	spec, err := core.DecodeSpec(rd.Spec)
+	if err != nil {
+		return fmt.Errorf("serve: embedded spec: %w", err)
+	}
+	var env core.SpecEnvelope
+	if err := json.Unmarshal(rd.Spec, &env); err != nil {
+		return fmt.Errorf("serve: embedded spec envelope: %w", err)
+	}
+	if env.API != sc.SpecAPI {
+		return fmt.Errorf("serve: embedded spec api %q, want %q", env.API, sc.SpecAPI)
+	}
+	if spec.Kind() != rd.Kind {
+		return fmt.Errorf("serve: kind %q but embedded spec is %q", rd.Kind, spec.Kind())
+	}
+	hash, err := core.SpecHash(spec)
+	if err != nil {
+		return err
+	}
+	if hash != rd.SpecHash {
+		return fmt.Errorf("serve: spec_hash %s does not match the embedded spec (hashes to %s)", rd.SpecHash, hash)
+	}
+	if rd.Result == nil {
+		return fmt.Errorf("serve: result document has no result")
+	}
+	if rd.Result.Kind != rd.Kind {
+		return fmt.Errorf("serve: result kind %q, want %q", rd.Result.Kind, rd.Kind)
+	}
+	var obsDoc map[string]json.RawMessage
+	if err := json.Unmarshal(rd.Obs, &obsDoc); err != nil {
+		return fmt.Errorf("serve: obs payload: %w", err)
+	}
+	return nil
+}

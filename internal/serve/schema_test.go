@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestValidateResultJSON runs a real job through the executor and
+// checks the produced document against the checked-in result schema,
+// then corrupts it field by field.
+func TestValidateResultJSON(t *testing.T) {
+	schemaJSON, err := os.ReadFile(filepath.Join("..", "..", "schema", "gridd_result_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 1})
+	defer s.sched.close()
+	spec, err := core.DecodeSpec([]byte(`{"api":"repro/spec/v1","kind":"tco"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := core.CanonicalSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := core.SpecHash(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &job{kind: canon.Kind(), hash: hash, spec: canon, done: make(chan struct{})}
+	s.execute(j)
+	if j.status != statusDone {
+		t.Fatalf("job failed: %s", j.errMsg)
+	}
+
+	if err := ValidateResultJSON(schemaJSON, j.doc); err != nil {
+		t.Fatalf("real document rejected: %v", err)
+	}
+
+	corrupt := func(f func(*resultDoc)) []byte {
+		var rd resultDoc
+		if err := json.Unmarshal(j.doc, &rd); err != nil {
+			t.Fatal(err)
+		}
+		f(&rd)
+		out, err := json.Marshal(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := map[string][]byte{
+		"wrong api":       corrupt(func(rd *resultDoc) { rd.API = "repro/serve/result/v2" }),
+		"short hash":      corrupt(func(rd *resultDoc) { rd.SpecHash = "abc123" }),
+		"mismatched hash": corrupt(func(rd *resultDoc) { rd.SpecHash = "0000000000000000000000000000000000000000000000000000000000000000" }),
+		"kind mismatch":   corrupt(func(rd *resultDoc) { rd.Kind = "table1" }),
+		"missing result":  corrupt(func(rd *resultDoc) { rd.Result = nil }),
+		"bad obs":         corrupt(func(rd *resultDoc) { rd.Obs = json.RawMessage(`[1,2]`) }),
+		"unknown field":   bytes.Replace(j.doc, []byte(`"api"`), []byte(`"apx"`), 1),
+	}
+	for name, doc := range cases {
+		if err := ValidateResultJSON(schemaJSON, doc); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, tenant, body string) (*http.Response, Envelope) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/experiments", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	return resp, env
+}
+
+// TestCacheHitBitIdentical is the gateway's core promise: resubmitting
+// a spec returns the first run's document byte for byte, served from
+// cache, with the serve.* counters recording the hit.
+func TestCacheHitBitIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"api":"repro/spec/v1","kind":"tco","spec":{"blade":true}}`
+
+	resp1, env1 := submit(t, ts, "alice", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: status %d, error %q", resp1.StatusCode, env1.Error)
+	}
+	if env1.Cached || env1.Status != "done" || len(env1.Doc) == 0 {
+		t.Fatalf("first submit: cached=%v status=%q doclen=%d", env1.Cached, env1.Status, len(env1.Doc))
+	}
+
+	// Same experiment, different field order and tenant: still a hit.
+	resp2, env2 := submit(t, ts, "bob", `{"kind":"tco","api":"repro/spec/v1","spec":{"nodes":24,"blade":true}}`)
+	if resp2.StatusCode != http.StatusOK || !env2.Cached {
+		t.Fatalf("resubmit: status %d cached=%v", resp2.StatusCode, env2.Cached)
+	}
+	if !bytes.Equal(env1.Doc, env2.Doc) {
+		t.Fatalf("cached doc differs from first run:\n%s\nvs\n%s", env1.Doc, env2.Doc)
+	}
+	if env1.SpecHash != env2.SpecHash {
+		t.Fatalf("hash mismatch: %s vs %s", env1.SpecHash, env2.SpecHash)
+	}
+	if got := s.cacheHits.Load(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := s.cacheMisses.Load(); got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+
+	// The doc embeds the canonical spec, result text and obs snapshot.
+	var doc resultDoc
+	if err := json.Unmarshal(env1.Doc, &doc); err != nil {
+		t.Fatalf("result doc: %v", err)
+	}
+	if doc.API != ResultAPI || doc.Kind != "tco" || doc.SpecHash != env1.SpecHash {
+		t.Errorf("doc header = %q %q %q", doc.API, doc.Kind, doc.SpecHash)
+	}
+	if doc.Result == nil || !strings.Contains(doc.Result.Text, "Cluster:") {
+		t.Errorf("doc result text missing")
+	}
+	var snapDoc map[string]any
+	if err := json.Unmarshal(doc.Obs, &snapDoc); err != nil {
+		t.Errorf("obs payload not JSON: %v", err)
+	}
+}
+
+// TestPerTenantFairness floods tenant A's queue and then submits one
+// job for tenant B: round-robin dispatch must run B's job next, not
+// after A's backlog.
+func TestPerTenantFairness(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+	first := true
+	sched := newScheduler(1, 100, func(j *job) {
+		if first {
+			first = false
+			<-gate // hold the worker so the queues fill
+		}
+		mu.Lock()
+		order = append(order, j.tenant)
+		mu.Unlock()
+		j.status = statusDone
+	})
+	defer func() { sched.close(); sched.drain() }()
+
+	jobs := make([]*job, 0, 10)
+	for i := 0; i < 8; i++ {
+		j, _, err := sched.submit("flood", "tco", fmt.Sprintf("ha%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	jb, _, err := sched.submit("meek", "tco", "hb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, jb)
+	close(gate)
+	for _, j := range jobs {
+		<-j.done
+	}
+
+	// The first job (flood's, already running) finishes first; the meek
+	// tenant's single job must be dispatched within the next two slots,
+	// not behind flood's remaining seven.
+	pos := -1
+	for i, tenant := range order {
+		if tenant == "meek" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Fatalf("meek tenant ran at position %d of %v, want <= 2", pos, order)
+	}
+}
+
+// TestQueueDepthLimit rejects the submission that exceeds the
+// per-tenant depth with 429, without disturbing other tenants.
+func TestQueueDepthLimit(t *testing.T) {
+	gate := make(chan struct{})
+	var started sync.Once
+	running := make(chan struct{})
+	sched := newScheduler(1, 2, func(j *job) {
+		started.Do(func() { close(running) })
+		<-gate
+		j.status = statusDone
+	})
+	defer func() { close(gate); sched.close(); sched.drain() }()
+
+	// One running + two queued for tenant A (the running job left the
+	// queue), then the queue is full.
+	if _, _, err := sched.submit("a", "tco", "h0", nil); err != nil {
+		t.Fatal(err)
+	}
+	<-running // the worker has dequeued h0
+	for i := 1; i < 3; i++ {
+		if _, _, err := sched.submit("a", "tco", fmt.Sprintf("h%d", i), nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, _, err := sched.submit("a", "tco", "h3", nil); err == nil {
+		t.Fatal("expected queue-full error")
+	}
+	// Another tenant still has room.
+	if _, _, err := sched.submit("b", "tco", "h4", nil); err != nil {
+		t.Fatalf("tenant b rejected: %v", err)
+	}
+}
+
+// TestCoalescing verifies single-flight: a second submission of an
+// in-flight hash attaches to the same job instead of queueing a
+// duplicate execution.
+func TestCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	sched := newScheduler(1, 10, func(j *job) { <-gate; j.status = statusDone })
+	defer func() { sched.close(); sched.drain() }()
+
+	j1, co1, err := sched.submit("a", "tco", "same", nil)
+	if err != nil || co1 {
+		t.Fatalf("first: %v coalesced=%v", err, co1)
+	}
+	j2, co2, err := sched.submit("b", "tco", "same", nil)
+	if err != nil || !co2 {
+		t.Fatalf("second: %v coalesced=%v", err, co2)
+	}
+	if j1 != j2 {
+		t.Fatal("coalesced submit returned a different job")
+	}
+	close(gate)
+	<-j1.done
+	// After completion the hash is no longer in flight: a new submit
+	// schedules a fresh job (the HTTP layer would have hit the cache).
+	j3, co3, err := sched.submit("a", "tco", "same", nil)
+	if err != nil || co3 {
+		t.Fatalf("post-done: %v coalesced=%v", err, co3)
+	}
+	<-j3.done
+}
+
+// TestConcurrentSubmissions drives many goroutines at the HTTP API with
+// a mix of distinct and repeated specs.
+func TestConcurrentSubmissions(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				body := fmt.Sprintf(`{"api":"repro/spec/v1","kind":"tco","spec":{"nodes":%d}}`, 10+i)
+				resp, env := submit(t, ts, fmt.Sprintf("t%d", g%3), body)
+				if resp.StatusCode != http.StatusOK || env.Status != "done" {
+					errs <- fmt.Errorf("g%d i%d: status %d %q err %q", g, i, resp.StatusCode, env.Status, env.Error)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// 4 distinct specs across 32 submissions: at most 4 misses that
+	// executed (plus coalesced waits), the rest cache hits.
+	if s.jobsCompleted.Load() > 4 {
+		t.Errorf("jobs completed = %d, want <= 4", s.jobsCompleted.Load())
+	}
+	if s.cacheHits.Load()+s.cacheMisses.Load()+s.coalesced.Load() < 32 {
+		t.Errorf("accounting: hits=%d misses=%d coalesced=%d", s.cacheHits.Load(), s.cacheMisses.Load(), s.coalesced.Load())
+	}
+}
+
+// TestBadSubmissions maps decode and validation failures to 4xx.
+func TestBadSubmissions(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"api":"repro/spec/v2","kind":"tco"}`, http.StatusBadRequest},
+		{`{"api":"repro/spec/v1","kind":"nope"}`, http.StatusBadRequest},
+		{`{"api":"repro/spec/v1","kind":"tco","spec":{"bogus":1}}`, http.StatusBadRequest},
+		{`{"api":"repro/spec/v1","kind":"tco","spec":{"nodes":-5}}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, env := submit(t, ts, "", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%q: status %d, want %d (error %q)", tc.body, resp.StatusCode, tc.code, env.Error)
+		}
+	}
+	if got := s.rejectedSpec.Load(); got != uint64(len(cases)) {
+		t.Errorf("rejected.bad_spec = %d, want %d", got, len(cases))
+	}
+}
+
+// TestAsyncSubmitAndPoll takes the 202 + poll path.
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/experiments?async=1", "application/json",
+		strings.NewReader(`{"api":"repro/spec/v1","kind":"table5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || env.ID == "" {
+		t.Fatalf("async submit: status %d id %q", resp.StatusCode, env.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/experiments/" + env.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Envelope
+		json.NewDecoder(r.Body).Decode(&got)
+		r.Body.Close()
+		if got.Status == "done" {
+			if len(got.Doc) == 0 {
+				t.Fatal("done without doc")
+			}
+			break
+		}
+		if got.Status == "failed" {
+			t.Fatalf("job failed: %s", got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", got.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestKindsAndStats covers the discovery and telemetry endpoints.
+func TestKindsAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds struct {
+		API   string     `json:"api"`
+		Kinds []kindInfo `json:"kinds"`
+	}
+	json.NewDecoder(resp.Body).Decode(&kinds)
+	resp.Body.Close()
+	if kinds.API != API || len(kinds.Kinds) != len(core.SpecKinds()) {
+		t.Fatalf("kinds: api %q, %d kinds want %d", kinds.API, len(kinds.Kinds), len(core.SpecKinds()))
+	}
+	for _, k := range kinds.Kinds {
+		if _, err := core.DecodeSpec(k.Spec); err != nil {
+			t.Errorf("kind %s default spec does not round-trip: %v", k.Kind, err)
+		}
+	}
+
+	submit(t, ts, "", `{"api":"repro/spec/v1","kind":"tco"}`)
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Samples []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"samples"`
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	byName := map[string]float64{}
+	for _, s := range stats.Samples {
+		byName[s.Name] = s.Value
+	}
+	if byName["serve.submit.total"] < 1 {
+		t.Errorf("serve.submit.total = %v, want >= 1", byName["serve.submit.total"])
+	}
+	if byName["serve.jobs.completed"] < 1 {
+		t.Errorf("serve.jobs.completed = %v, want >= 1", byName["serve.jobs.completed"])
+	}
+	if _, ok := byName["serve.cache.entries"]; !ok {
+		t.Error("serve.cache.entries gauge missing")
+	}
+}
+
+// TestCacheEviction bounds the cache FIFO.
+func TestCacheEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	c.put("c", []byte("3"))
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry not evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("newest entry missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestGracefulClose rejects new work and drains in-flight jobs.
+func TestGracefulClose(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.sched.submit("a", "tco", "h", nil); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}
