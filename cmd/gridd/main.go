@@ -16,7 +16,10 @@
 //	POST /v1/experiments           submit a spec envelope; waits for the
 //	                               result (202 + id past -request-timeout)
 //	POST /v1/experiments?async=1   202 {id} immediately
-//	GET  /v1/experiments/{id}      poll a submission
+//	GET  /v1/experiments/{id}      poll a submission (ids are random;
+//	                               only the submitting tenant may poll,
+//	                               and finished jobs expire past
+//	                               -job-retention)
 //	GET  /v1/kinds                 registered kinds + canonical defaults
 //	GET  /v1/stats                 the gateway's serve.* obs snapshot
 //	GET  /healthz                  liveness
@@ -46,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent experiment executions")
 	depth := flag.Int("queue-depth", 16, "queued jobs allowed per tenant")
 	cacheN := flag.Int("cache", 256, "result-cache entries")
+	retention := flag.Int("job-retention", 512, "finished jobs kept pollable by id")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous submit wait before degrading to 202 + poll")
 	drain := flag.Duration("drain", 2*time.Minute, "shutdown grace for in-flight jobs")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
@@ -62,6 +66,7 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *depth,
 		CacheEntries:   *cacheN,
+		JobRetention:   *retention,
 		RequestTimeout: *reqTimeout,
 		Logger:         log,
 	})

@@ -39,9 +39,9 @@ func main() {
 		Acquisition: *acq,
 		Gflops:      *gflops,
 		Blade:       *blade,
-		Ambient:     *ambient,
+		Ambient:     ambient,
 		Years:       *years,
-		KWh:         *kwh,
+		KWh:         kwh,
 		Space:       *space,
 		CPUHour:     *cpuHour,
 	})

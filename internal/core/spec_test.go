@@ -134,6 +134,48 @@ func TestSpecHashDefaultedFieldsInvariant(t *testing.T) {
 	}
 }
 
+// TestTCOExplicitZeroHonored: Ambient and KWh are pointer fields, so an
+// explicit zero (0°C machine room, free electricity) survives
+// canonicalization instead of being silently rewritten to the default —
+// and hashes as a different experiment than the defaulted form.
+func TestTCOExplicitZeroHonored(t *testing.T) {
+	zero := 0.0
+	c, err := CanonicalSpec(&TCOSpec{Ambient: &zero, KWh: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := c.(*TCOSpec)
+	if ct.Ambient == nil || *ct.Ambient != 0 {
+		t.Errorf("canonical ambient = %v, want explicit 0", ct.Ambient)
+	}
+	if ct.KWh == nil || *ct.KWh != 0 {
+		t.Errorf("canonical kwh = %v, want explicit 0", ct.KWh)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("explicit zeros rejected: %v", err)
+	}
+	hz, err := SpecHash(&TCOSpec{Ambient: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := SpecHash(&TCOSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz == hd {
+		t.Error("explicit ambient 0 hashes identically to the defaulted spec")
+	}
+	// A negative rate is still invalid; only zero gained meaning.
+	neg := -0.1
+	cn, err := CanonicalSpec(&TCOSpec{KWh: &neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.Validate(); err == nil {
+		t.Error("negative kwh validated")
+	}
+}
+
 // TestGroupWalkAliasEquivalence covers the -groupwalk deprecation: the
 // alias canonicalizes to the engine field, hashes identically to the
 // spelled-out form, and resolves to the same engine both through the

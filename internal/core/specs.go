@@ -719,19 +719,22 @@ func (p *nbodyParallelForcer) Forces(s *nbody.System) error {
 
 // TCOSpec evaluates the paper's cost model — TCO and ToPPeR — for a
 // user-described cluster. Zero numeric fields take the toppercalc flag
-// defaults; note that makes an explicit zero unrepresentable, which is
-// fine for quantities that must be positive to mean anything.
+// defaults, which is fine for quantities that must be positive to mean
+// anything; Ambient and KWh are pointers (like NASKernelsSpec.Rate)
+// because an explicit zero is physically meaningful there — a 0°C
+// machine room, free electricity — so omitted means the default and
+// zero means zero.
 type TCOSpec struct {
-	Nodes       int     `json:"nodes,omitempty"`
-	Watts       float64 `json:"watts,omitempty"`
-	Acquisition float64 `json:"acquisition,omitempty"`
-	Gflops      float64 `json:"gflops,omitempty"`
-	Blade       bool    `json:"blade,omitempty"`
-	Ambient     float64 `json:"ambient,omitempty"`
-	Years       float64 `json:"years,omitempty"`
-	KWh         float64 `json:"kwh,omitempty"`
-	Space       float64 `json:"space,omitempty"`
-	CPUHour     float64 `json:"cpu_hour,omitempty"`
+	Nodes       int      `json:"nodes,omitempty"`
+	Watts       float64  `json:"watts,omitempty"`
+	Acquisition float64  `json:"acquisition,omitempty"`
+	Gflops      float64  `json:"gflops,omitempty"`
+	Blade       bool     `json:"blade,omitempty"`
+	Ambient     *float64 `json:"ambient,omitempty"`
+	Years       float64  `json:"years,omitempty"`
+	KWh         *float64 `json:"kwh,omitempty"`
+	Space       float64  `json:"space,omitempty"`
+	CPUHour     float64  `json:"cpu_hour,omitempty"`
 }
 
 func (*TCOSpec) Kind() string { return "tco" }
@@ -749,14 +752,16 @@ func (s *TCOSpec) Normalize() {
 	if s.Gflops == 0 {
 		s.Gflops = 2.8
 	}
-	if s.Ambient == 0 {
-		s.Ambient = 24
+	if s.Ambient == nil {
+		v := 24.0
+		s.Ambient = &v
 	}
 	if s.Years == 0 {
 		s.Years = 4
 	}
-	if s.KWh == 0 {
-		s.KWh = 0.10
+	if s.KWh == nil {
+		v := 0.10
+		s.KWh = &v
 	}
 	if s.Space == 0 {
 		s.Space = 100
@@ -772,11 +777,14 @@ func (s *TCOSpec) Validate() error {
 	}
 	for name, v := range map[string]float64{
 		"watts": s.Watts, "acquisition": s.Acquisition, "gflops": s.Gflops,
-		"years": s.Years, "kwh": s.KWh, "space": s.Space, "cpu_hour": s.CPUHour,
+		"years": s.Years, "space": s.Space, "cpu_hour": s.CPUHour,
 	} {
 		if v <= 0 {
 			return fmt.Errorf("%s %g", name, v)
 		}
+	}
+	if s.KWh != nil && *s.KWh < 0 {
+		return fmt.Errorf("kwh %g", *s.KWh)
 	}
 	return nil
 }
@@ -797,14 +805,14 @@ func (s *TCOSpec) Run(r *Run) (*SpecResult, error) {
 		admin = tco.BladeAdmin()
 		outages = tco.BladeOutages()
 	}
-	cl, err := cluster.New("custom", node, pack, s.Nodes, s.Ambient)
+	cl, err := cluster.New("custom", node, pack, s.Nodes, *s.Ambient)
 	if err != nil {
 		return nil, err
 	}
 
 	rates := tco.Rates{
 		AdminPerHour:       100,
-		ElectricityPerKWh:  s.KWh,
+		ElectricityPerKWh:  *s.KWh,
 		SpacePerSqFtYear:   s.Space,
 		DowntimePerCPUHour: s.CPUHour,
 		Years:              s.Years,

@@ -7,6 +7,8 @@
 package serve
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,14 +36,18 @@ const (
 )
 
 // job is one scheduled experiment execution. A job is shared by every
-// coalesced submission of the same spec hash; done closes exactly once,
-// after which doc/errMsg are immutable.
+// coalesced submission of the same spec hash; tenants records which
+// tenants attached, and only they may poll it. All mutable fields are
+// written under the scheduler mutex; done closes exactly once, after
+// the terminal status/doc/errMsg/elapsed are committed, so readers that
+// have observed done may read them without the lock.
 type job struct {
-	id     string
-	tenant string
-	kind   string
-	hash   string
-	spec   core.ExperimentSpec
+	id      string
+	tenant  string // submitting tenant, for queue accounting
+	tenants map[string]struct{}
+	kind    string
+	hash    string
+	spec    core.ExperimentSpec // released once the job finishes
 
 	done    chan struct{}
 	status  jobStatus
@@ -54,12 +60,14 @@ type job struct {
 // strict round-robin over tenants with pending work: a tenant
 // submitting thousands of jobs cannot starve one submitting a single
 // job, because each dispatch takes the head of the next non-empty
-// tenant queue in rotation.
+// tenant queue in rotation. A tenant whose queue drains is dropped from
+// the rotation (and re-added on its next submission), so the tenant
+// bookkeeping is bounded by pending work, not by every name ever seen.
 type scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queues  map[string][]*job // per-tenant FIFO
-	tenants []string          // rotation order (first-seen)
+	queues  map[string][]*job // per-tenant FIFO; only non-empty queues
+	tenants []string          // rotation order over queues' keys
 	rr      int               // round-robin cursor into tenants
 	queued  int               // total queued jobs, all tenants
 	running int
@@ -67,19 +75,21 @@ type scheduler struct {
 
 	inflight map[string]*job // spec hash → queued-or-running job (single flight)
 	jobs     map[string]*job // job id → job, for async polling
-	nextID   int
+	finished []string        // finished job ids, oldest first, for eviction
+	retain   int             // finished jobs kept pollable
 
 	closed  bool
 	wg      sync.WaitGroup
-	execute func(*job)
+	execute func(*job) ([]byte, error)
 }
 
-func newScheduler(workers, depth int, execute func(*job)) *scheduler {
+func newScheduler(workers, depth, retain int, execute func(*job) ([]byte, error)) *scheduler {
 	s := &scheduler{
 		queues:   map[string][]*job{},
 		inflight: map[string]*job{},
 		jobs:     map[string]*job{},
 		depth:    depth,
+		retain:   retain,
 		execute:  execute,
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -90,9 +100,22 @@ func newScheduler(workers, depth int, execute func(*job)) *scheduler {
 	return s
 }
 
+// newJobID returns an unguessable job id, so one tenant cannot
+// enumerate another's submissions by counting.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: job id: %w", err)
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
 // submit enqueues a spec for a tenant, or returns the already-queued or
 // running job for the same hash (coalesced reports that). The caller
-// has already consulted the result cache.
+// has already consulted the result cache. Coalescing is global across
+// tenants — like the result cache, it banks on determinism: the
+// attached tenant gets the same bytes it would have computed, without
+// consuming a queue slot.
 func (s *scheduler) submit(tenant, kind, hash string, spec core.ExperimentSpec) (j *job, coalesced bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -100,20 +123,30 @@ func (s *scheduler) submit(tenant, kind, hash string, spec core.ExperimentSpec) 
 		return nil, false, ErrClosed
 	}
 	if j, ok := s.inflight[hash]; ok {
+		j.tenants[tenant] = struct{}{}
 		return j, true, nil
 	}
 	if len(s.queues[tenant]) >= s.depth {
 		return nil, false, fmt.Errorf("%w: %d jobs queued for %q", ErrQueueFull, len(s.queues[tenant]), tenant)
 	}
-	s.nextID++
+	var id string
+	for {
+		if id, err = newJobID(); err != nil {
+			return nil, false, err
+		}
+		if _, dup := s.jobs[id]; !dup {
+			break
+		}
+	}
 	j = &job{
-		id:     fmt.Sprintf("j%06d", s.nextID),
-		tenant: tenant,
-		kind:   kind,
-		hash:   hash,
-		spec:   spec,
-		done:   make(chan struct{}),
-		status: statusQueued,
+		id:      id,
+		tenant:  tenant,
+		tenants: map[string]struct{}{tenant: {}},
+		kind:    kind,
+		hash:    hash,
+		spec:    spec,
+		done:    make(chan struct{}),
+		status:  statusQueued,
 	}
 	if _, seen := s.queues[tenant]; !seen {
 		s.tenants = append(s.tenants, tenant)
@@ -126,15 +159,23 @@ func (s *scheduler) submit(tenant, kind, hash string, spec core.ExperimentSpec) 
 	return j, false, nil
 }
 
-// lookup returns a job by id.
-func (s *scheduler) lookup(id string) (*job, bool) {
+// lookup returns a job by id, but only to a tenant that submitted or
+// coalesced onto it.
+func (s *scheduler) lookup(id, tenant string) (*job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
-	return j, ok
+	if !ok {
+		return nil, false
+	}
+	if _, attached := j.tenants[tenant]; !attached {
+		return nil, false
+	}
+	return j, true
 }
 
-// pick pops the next job in tenant rotation. Callers hold s.mu.
+// pick pops the next job in tenant rotation, dropping the tenant from
+// the rotation when its queue drains. Callers hold s.mu.
 func (s *scheduler) pick() *job {
 	n := len(s.tenants)
 	for i := 0; i < n; i++ {
@@ -145,9 +186,15 @@ func (s *scheduler) pick() *job {
 			continue
 		}
 		j := q[0]
-		s.queues[tenant] = q[1:]
+		if len(q) == 1 {
+			delete(s.queues, tenant)
+			s.tenants = append(s.tenants[:idx], s.tenants[idx+1:]...)
+			s.rr = idx // the next tenant shifted into this slot
+		} else {
+			s.queues[tenant] = q[1:]
+			s.rr = idx + 1
+		}
 		s.queued--
-		s.rr = idx + 1
 		return j
 	}
 	return nil
@@ -174,27 +221,49 @@ func (s *scheduler) worker() {
 		s.mu.Unlock()
 
 		t0 := time.Now()
-		s.runOne(j)
-		j.elapsed = time.Since(t0)
+		doc, err := s.runOne(j)
 
+		// Commit the terminal state under the lock: pollers read
+		// j.status through it while the job is live, and the close of
+		// j.done below publishes the fields to everyone already waiting.
 		s.mu.Lock()
+		if err != nil {
+			j.status = statusFailed
+			j.errMsg = err.Error()
+		} else {
+			j.status = statusDone
+			j.doc = doc
+		}
+		j.elapsed = time.Since(t0)
+		j.spec = nil // the doc carries the canonical spec; free the rest
 		s.running--
 		delete(s.inflight, j.hash)
+		s.retire(j)
 		s.mu.Unlock()
 		close(j.done)
 	}
 }
 
-// runOne executes the job's spec, converting panics into failed jobs so
-// one poisonous submission cannot take a worker down.
-func (s *scheduler) runOne(j *job) {
+// retire keeps the finished job pollable until the retention bound
+// pushes it out, so the jobs map cannot grow without limit in a
+// long-running daemon. Callers hold s.mu.
+func (s *scheduler) retire(j *job) {
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.retain {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// runOne executes the job's spec, converting panics into errors so one
+// poisonous submission cannot take a worker down.
+func (s *scheduler) runOne(j *job) (doc []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			j.status = statusFailed
-			j.errMsg = fmt.Sprintf("panic: %v", r)
+			doc, err = nil, fmt.Errorf("panic: %v", r)
 		}
 	}()
-	s.execute(j)
+	return s.execute(j)
 }
 
 // close stops intake and wakes idle workers; drain waits for the pool.

@@ -34,18 +34,18 @@ func TestValidateResultJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	j := &job{kind: canon.Kind(), hash: hash, spec: canon, done: make(chan struct{})}
-	s.execute(j)
-	if j.status != statusDone {
-		t.Fatalf("job failed: %s", j.errMsg)
+	doc, err := s.execute(j)
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
 	}
 
-	if err := ValidateResultJSON(schemaJSON, j.doc); err != nil {
+	if err := ValidateResultJSON(schemaJSON, doc); err != nil {
 		t.Fatalf("real document rejected: %v", err)
 	}
 
 	corrupt := func(f func(*resultDoc)) []byte {
 		var rd resultDoc
-		if err := json.Unmarshal(j.doc, &rd); err != nil {
+		if err := json.Unmarshal(doc, &rd); err != nil {
 			t.Fatal(err)
 		}
 		f(&rd)
@@ -62,7 +62,7 @@ func TestValidateResultJSON(t *testing.T) {
 		"kind mismatch":   corrupt(func(rd *resultDoc) { rd.Kind = "table1" }),
 		"missing result":  corrupt(func(rd *resultDoc) { rd.Result = nil }),
 		"bad obs":         corrupt(func(rd *resultDoc) { rd.Obs = json.RawMessage(`[1,2]`) }),
-		"unknown field":   bytes.Replace(j.doc, []byte(`"api"`), []byte(`"apx"`), 1),
+		"unknown field":   bytes.Replace(doc, []byte(`"api"`), []byte(`"apx"`), 1),
 	}
 	for name, doc := range cases {
 		if err := ValidateResultJSON(schemaJSON, doc); err == nil {

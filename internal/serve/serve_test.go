@@ -109,7 +109,7 @@ func TestPerTenantFairness(t *testing.T) {
 	var order []string
 	gate := make(chan struct{})
 	first := true
-	sched := newScheduler(1, 100, func(j *job) {
+	sched := newScheduler(1, 100, 64, func(j *job) ([]byte, error) {
 		if first {
 			first = false
 			<-gate // hold the worker so the queues fill
@@ -117,7 +117,7 @@ func TestPerTenantFairness(t *testing.T) {
 		mu.Lock()
 		order = append(order, j.tenant)
 		mu.Unlock()
-		j.status = statusDone
+		return nil, nil
 	})
 	defer func() { sched.close(); sched.drain() }()
 
@@ -159,10 +159,10 @@ func TestQueueDepthLimit(t *testing.T) {
 	gate := make(chan struct{})
 	var started sync.Once
 	running := make(chan struct{})
-	sched := newScheduler(1, 2, func(j *job) {
+	sched := newScheduler(1, 2, 64, func(j *job) ([]byte, error) {
 		started.Do(func() { close(running) })
 		<-gate
-		j.status = statusDone
+		return nil, nil
 	})
 	defer func() { close(gate); sched.close(); sched.drain() }()
 
@@ -191,7 +191,7 @@ func TestQueueDepthLimit(t *testing.T) {
 // duplicate execution.
 func TestCoalescing(t *testing.T) {
 	gate := make(chan struct{})
-	sched := newScheduler(1, 10, func(j *job) { <-gate; j.status = statusDone })
+	sched := newScheduler(1, 10, 64, func(j *job) ([]byte, error) { <-gate; return nil, nil })
 	defer func() { sched.close(); sched.drain() }()
 
 	j1, co1, err := sched.submit("a", "tco", "same", nil)
@@ -204,6 +204,17 @@ func TestCoalescing(t *testing.T) {
 	}
 	if j1 != j2 {
 		t.Fatal("coalesced submit returned a different job")
+	}
+	// Polling is scoped to attached tenants: both submitters may look
+	// the job up, a stranger may not.
+	if _, ok := sched.lookup(j1.id, "a"); !ok {
+		t.Error("submitting tenant cannot look up its own job")
+	}
+	if _, ok := sched.lookup(j1.id, "b"); !ok {
+		t.Error("coalesced tenant cannot look up the shared job")
+	}
+	if _, ok := sched.lookup(j1.id, "eve"); ok {
+		t.Error("unrelated tenant can look up another tenant's job")
 	}
 	close(gate)
 	<-j1.done
@@ -378,6 +389,81 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestJobRetentionBound evicts the oldest finished jobs, so the jobs
+// map cannot grow without bound in a long-running daemon.
+func TestJobRetentionBound(t *testing.T) {
+	sched := newScheduler(1, 100, 2, func(j *job) ([]byte, error) { return nil, nil })
+	defer func() { sched.close(); sched.drain() }()
+	jobs := make([]*job, 0, 5)
+	for i := 0; i < 5; i++ {
+		j, _, err := sched.submit("a", "tco", fmt.Sprintf("h%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		<-j.done // serialize so eviction order is deterministic
+	}
+	sched.mu.Lock()
+	kept := len(sched.jobs)
+	sched.mu.Unlock()
+	if kept != 2 {
+		t.Errorf("jobs retained = %d, want 2", kept)
+	}
+	if _, ok := sched.lookup(jobs[0].id, "a"); ok {
+		t.Error("oldest finished job still pollable past the retention bound")
+	}
+	if _, ok := sched.lookup(jobs[4].id, "a"); !ok {
+		t.Error("newest finished job evicted")
+	}
+}
+
+// TestTenantRotationCleanup drops drained tenants from the rotation, so
+// the per-tenant bookkeeping is bounded by pending work, not by every
+// X-Tenant value ever seen.
+func TestTenantRotationCleanup(t *testing.T) {
+	sched := newScheduler(2, 10, 64, func(j *job) ([]byte, error) { return nil, nil })
+	defer func() { sched.close(); sched.drain() }()
+	for i := 0; i < 20; i++ {
+		j, _, err := sched.submit(fmt.Sprintf("tenant%d", i), "tco", fmt.Sprintf("h%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.done
+	}
+	if queued, _, tenants := sched.depthStats(); queued != 0 || tenants != 0 {
+		t.Errorf("after drain: %d queued, %d tenants in rotation, want 0/0", queued, tenants)
+	}
+}
+
+// TestFailedJobCommitted: a panicking execute surfaces as a failed job
+// whose terminal state is readable after done, and the worker survives
+// to run the next job.
+func TestFailedJobCommitted(t *testing.T) {
+	sched := newScheduler(1, 10, 64, func(j *job) ([]byte, error) {
+		if j.hash == "boom" {
+			panic("kaboom")
+		}
+		return []byte("ok"), nil
+	})
+	defer func() { sched.close(); sched.drain() }()
+	bad, _, err := sched.submit("a", "tco", "boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bad.done
+	if bad.status != statusFailed || !strings.Contains(bad.errMsg, "kaboom") {
+		t.Errorf("panicked job: status %q errMsg %q", bad.status, bad.errMsg)
+	}
+	good, _, err := sched.submit("a", "tco", "fine", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-good.done
+	if good.status != statusDone || string(good.doc) != "ok" {
+		t.Errorf("job after panic: status %q doc %q", good.status, good.doc)
 	}
 }
 

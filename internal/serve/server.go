@@ -32,6 +32,10 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
+	// JobRetention bounds how many finished jobs stay pollable by id
+	// (default 512). Older finished jobs are evicted and poll as 404;
+	// their results remain in the cache under the spec hash.
+	JobRetention int
 	// RequestTimeout bounds how long a synchronous submission waits for
 	// its result before degrading to 202 + pollable id (default 30s).
 	RequestTimeout time.Duration
@@ -48,6 +52,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 512
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -85,7 +92,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, cache: newCache(cfg.CacheEntries), log: cfg.Logger}
-	s.sched = newScheduler(cfg.Workers, cfg.QueueDepth, s.execute)
+	s.sched = newScheduler(cfg.Workers, cfg.QueueDepth, cfg.JobRetention, s.execute)
 	return s
 }
 
@@ -106,28 +113,31 @@ func (s *Server) Close(ctx context.Context) error {
 }
 
 // execute runs one job's spec on a fresh instrumented Run and caches
-// the resulting document. Failed runs are not cached — a later
-// identical submission retries.
-func (s *Server) execute(j *job) {
+// the resulting document, returning it for the scheduler to commit
+// under its lock. Failed runs (including panics) are not cached — a
+// later identical submission retries.
+func (s *Server) execute(j *job) (doc []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			doc, err = nil, fmt.Errorf("panic: %v", r)
+		}
+		if err != nil {
+			s.jobsFailed.Add(1)
+		} else {
+			s.jobsCompleted.Add(1)
+		}
+	}()
 	run := core.NewRun()
 	res, err := core.RunSpec(run, j.spec)
 	if err != nil {
-		j.status = statusFailed
-		j.errMsg = err.Error()
-		s.jobsFailed.Add(1)
-		return
+		return nil, err
 	}
-	doc, err := buildDoc(j, res, run)
+	doc, err = buildDoc(j, res, run)
 	if err != nil {
-		j.status = statusFailed
-		j.errMsg = err.Error()
-		s.jobsFailed.Add(1)
-		return
+		return nil, err
 	}
-	j.doc = doc
-	j.status = statusDone
 	s.cache.put(j.hash, doc)
-	s.jobsCompleted.Add(1)
+	return doc, nil
 }
 
 // resultDoc is the cached result document: everything a caller needs to
@@ -172,6 +182,7 @@ type Envelope struct {
 	Kind      string          `json:"kind,omitempty"`
 	SpecHash  string          `json:"spec_hash,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	ElapsedMS int64           `json:"elapsed_ms,omitempty"`
 	Doc       json.RawMessage `json:"doc,omitempty"`
 }
 
@@ -336,9 +347,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleGet is GET /v1/experiments/{id}: poll a job by id.
+// handleGet is GET /v1/experiments/{id}: poll a job by id. Job ids are
+// unguessable and the lookup is scoped to tenants that submitted or
+// coalesced onto the job, so one tenant cannot poll another's work.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.lookup(r.PathValue("id"))
+	j, ok := s.sched.lookup(r.PathValue("id"), tenantOf(r))
 	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
 		return
@@ -360,18 +373,19 @@ func (s *Server) jobStatus(j *job) string {
 	return string(j.status)
 }
 
-// writeJob renders a finished job. Fields past done are immutable.
+// writeJob renders a finished job. Fields past done are immutable: the
+// worker commits them under the scheduler lock before closing done.
 func (s *Server) writeJob(w http.ResponseWriter, j *job, coalesced bool) {
 	if j.status == statusFailed {
 		writeJSON(w, http.StatusInternalServerError, Envelope{
 			API: API, ID: j.id, Status: string(statusFailed), Coalesced: coalesced,
-			Kind: j.kind, SpecHash: j.hash, Error: j.errMsg,
+			Kind: j.kind, SpecHash: j.hash, Error: j.errMsg, ElapsedMS: j.elapsed.Milliseconds(),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, Envelope{
 		API: API, ID: j.id, Status: string(statusDone), Coalesced: coalesced,
-		Kind: j.kind, SpecHash: j.hash, Doc: j.doc,
+		Kind: j.kind, SpecHash: j.hash, ElapsedMS: j.elapsed.Milliseconds(), Doc: j.doc,
 	})
 }
 
@@ -425,7 +439,7 @@ func (s *Server) Describe() []obs.Metric {
 		{Name: "serve.queue.depth", Kind: obs.KindGauge, Unit: "jobs", Help: "jobs currently queued across all tenants"},
 		{Name: "serve.jobs.running", Kind: obs.KindGauge, Unit: "jobs", Help: "jobs currently executing"},
 		{Name: "serve.cache.entries", Kind: obs.KindGauge, Unit: "docs", Help: "result documents in the cache"},
-		{Name: "serve.tenants", Kind: obs.KindGauge, Unit: "tenants", Help: "distinct tenants seen since start"},
+		{Name: "serve.tenants", Kind: obs.KindGauge, Unit: "tenants", Help: "tenants with queued work"},
 	}
 }
 
@@ -455,5 +469,5 @@ func (s *Server) Collect(snap *obs.Snapshot) {
 	snap.SetGauge("serve.queue.depth", "jobs", "jobs currently queued across all tenants", float64(queued))
 	snap.SetGauge("serve.jobs.running", "jobs", "jobs currently executing", float64(running))
 	snap.SetGauge("serve.cache.entries", "docs", "result documents in the cache", float64(s.cache.len()))
-	snap.SetGauge("serve.tenants", "tenants", "distinct tenants seen since start", float64(tenants))
+	snap.SetGauge("serve.tenants", "tenants", "tenants with queued work", float64(tenants))
 }
