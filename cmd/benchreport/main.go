@@ -2,10 +2,12 @@
 // in-process (via testing.Benchmark) and emits a machine-readable report:
 // host ns/op plus the simulated-machine metrics (cycles, Mflops) for the
 // gravity microkernel, a treecode force step, the MPI substrate's
-// allreduce hot path (pooled against the unpooled baseline) and the
-// parallel rank-sweep harness (serial against concurrent).
+// allreduce hot path (pooled against the unpooled baseline), the
+// parallel rank-sweep harness (serial against concurrent against the
+// event scheduler) and the large-p event core (a p=4096 EP world
+// against the goroutine scheduler's extrapolated footprint).
 //
-//	benchreport -out BENCH_pr7.json            # write the report
+//	benchreport -out BENCH_pr8.json            # write the report
 //	benchreport -guard                         # fail on in-run regressions
 //	benchreport -compare old.json              # fail on >10% ns/op slowdown
 //
@@ -15,9 +17,11 @@
 // The -guard checks are machine-independent where possible: simulated
 // cycle counts and virtual makespans are deterministic, so "gears must
 // not slow the simulated machine down", "pooling must cut allreduce
-// allocations at least 5x" and "the concurrent sweep must simulate the
-// exact same cluster" are exact; host-side checks (parallel paths must
-// not run slower than serial) carry a 10% tolerance, benchstat-style.
+// allocations at least 5x", "the concurrent and event sweeps must
+// simulate the exact same cluster" and "the event core must run p=4096
+// with ≥10x fewer goroutines than the goroutine path would take" are
+// exact; host-side checks (parallel paths must not run slower than
+// serial) carry a 10% tolerance, benchstat-style.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/kernels"
 	"repro/internal/mpi"
+	"repro/internal/nas"
 	"repro/internal/nbody"
 	"repro/internal/netsim"
 	"repro/internal/treecode"
@@ -69,6 +74,7 @@ func main() {
 	rep.Results = append(rep.Results, blockStepEntries()...)
 	rep.Results = append(rep.Results, hostParallelEntries()...)
 	rep.Results = append(rep.Results, mpiEntries()...)
+	rep.Results = append(rep.Results, largePEntries()...)
 	rep.Results = append(rep.Results, sweepEntries()...)
 
 	for _, e := range rep.Results {
@@ -90,7 +96,7 @@ func main() {
 	}
 	if *compare != "" {
 		check(compareReports(*compare, &rep))
-		fmt.Printf("compare: no hostparallel/mpi benchmark slowed down >%.0f%% vs %s\n",
+		fmt.Printf("compare: no hostparallel/mpi/serve benchmark slowed down >%.0f%% vs %s\n",
 			(slowdownTolerance-1)*100, *compare)
 	}
 }
@@ -476,20 +482,165 @@ func mpiEntries() []Entry {
 	return out
 }
 
+// largePEntries prices the event scheduler's reason to exist: a p=4096
+// class-S EP world must complete in event mode with at least 10x fewer
+// host goroutines and less live heap than the goroutine scheduler would
+// need, extrapolated from a measured p=256 goroutine-mode run
+// (goroutines grow linearly in p, the per-pair channel matrix
+// quadratically — the extrapolation even underprices the goroutine path
+// by using a shallow ChannelDepth). The big run doubles as a
+// determinism probe: two fresh event worlds must produce bit-identical
+// makespans and checksums.
+func largePEntries() []Entry {
+	const (
+		pBig      = 4096
+		pBase     = 256
+		baseDepth = 8 // far below the sweep's 256: biases the guard against us
+	)
+	costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateClassW)
+	check(err)
+
+	liveHeap := func() int64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.HeapAlloc)
+	}
+	// peakGoroutines samples runtime.NumGoroutine while fn runs. The
+	// sampler adds one goroutine to both measurements, so the bias
+	// cancels out of the ratio.
+	peakGoroutines := func(fn func()) int {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		peak := 0
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				if g := runtime.NumGoroutine(); g > peak {
+					peak = g
+				}
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+		fn()
+		close(stop)
+		<-done
+		return peak
+	}
+
+	// The goroutine-scheduler footprint, measured at the largest size
+	// that is still comfortable to instantiate for real.
+	h0 := liveHeap()
+	g0 := runtime.NumGoroutine()
+	wBase, err := mpi.NewWorldWithConfig(pBase, mpi.Config{
+		Fabric: netsim.FastEthernet(), ChannelDepth: baseDepth,
+	})
+	check(err)
+	var resBase *nas.ParallelResult
+	t0 := time.Now()
+	gorBasePeak := peakGoroutines(func() {
+		resBase, err = nas.ParallelEP(wBase, nas.ClassS, costs)
+	})
+	check(err)
+	wallBase := time.Since(t0)
+	heapBase := liveHeap() - h0
+	gorBase := gorBasePeak - g0
+	runtime.KeepAlive(wBase)
+	wBase = nil
+
+	scale := float64(pBig) / float64(pBase)
+	gorExtrap := float64(gorBase) * scale
+	heapExtrap := float64(heapBase) * scale * scale
+
+	// The event-scheduler run at the real target size.
+	h0 = liveHeap()
+	g0 = runtime.NumGoroutine()
+	mkEvent := func() *mpi.World {
+		w, err := mpi.NewWorldWithConfig(pBig, mpi.Config{
+			Fabric: netsim.FastEthernet(), Event: true,
+		})
+		check(err)
+		return w
+	}
+	wEvent := mkEvent()
+	var resEvent *nas.ParallelResult
+	t0 = time.Now()
+	gorEventPeak := peakGoroutines(func() {
+		resEvent, err = nas.ParallelEP(wEvent, nas.ClassS, costs)
+	})
+	check(err)
+	wallEvent := time.Since(t0)
+	heapEvent := liveHeap() - h0
+	gorEvent := gorEventPeak - g0
+	if gorEvent < 1 {
+		gorEvent = 1 // the event loop runs in the caller's goroutine
+	}
+	runtime.KeepAlive(wEvent)
+
+	// Determinism probe: a second fresh world must reproduce the run
+	// bit for bit.
+	res2, err := nas.ParallelEP(mkEvent(), nas.ClassS, costs)
+	check(err)
+	deterministic := 0.0
+	if math.Float64bits(resEvent.SimTime) == math.Float64bits(res2.SimTime) &&
+		math.Float64bits(resEvent.Checksum) == math.Float64bits(res2.Checksum) {
+		deterministic = 1.0
+	}
+	verified := 0.0
+	if resEvent.Verified {
+		verified = 1.0
+	}
+
+	return []Entry{
+		{
+			Name:    fmt.Sprintf("mpi/largep/ep-base/p=%d", pBase),
+			NsPerOp: float64(wallBase.Nanoseconds()),
+			Metrics: map[string]float64{
+				"ranks":           pBase,
+				"sim_seconds":     resBase.SimTime,
+				"goroutines_peak": float64(gorBase),
+				"heap_live_bytes": float64(heapBase),
+			},
+		},
+		{
+			Name:    "mpi/largep/ep",
+			NsPerOp: float64(wallEvent.Nanoseconds()),
+			Metrics: map[string]float64{
+				"ranks":                   pBig,
+				"sim_seconds":             resEvent.SimTime,
+				"verified":                verified,
+				"deterministic":           deterministic,
+				"goroutines_event":        float64(gorEvent),
+				"goroutines_extrapolated": gorExtrap,
+				"goroutine_ratio":         gorExtrap / float64(gorEvent),
+				"heap_event_bytes":        float64(heapEvent),
+				"heap_extrapolated_bytes": heapExtrap,
+			},
+		},
+	}
+}
+
 // sweepEntries times the parallel NAS rank sweep (p = 1..8, class S)
-// serially and concurrently. The simulated makespan sum is a pure
-// function of the sweep's programs, so it doubles as the determinism
-// fingerprint the guard compares exactly.
+// serially, concurrently, and on the event scheduler. The simulated
+// makespan sum is a pure function of the sweep's programs, so it
+// doubles as the determinism fingerprint the guard compares exactly —
+// across host scheduling and across rank schedulers.
 func sweepEntries() []Entry {
 	var out []Entry
-	for _, concurrent := range []bool{false, true} {
-		name := "sweep/nas/serial"
-		if concurrent {
-			name = "sweep/nas/concurrent"
-		}
+	for _, variant := range []string{"serial", "concurrent", "event"} {
+		name := "sweep/nas/" + variant
 		cfg := core.DefaultNASSweepConfig()
 		cfg.Ranks = cfg.Ranks[:8]
-		cfg.Concurrent = concurrent
+		cfg.Concurrent = variant != "serial"
+		if variant == "event" {
+			cfg.Mode = "event"
+		}
 		t0 := time.Now()
 		rows, _, err := core.NewRun().NASSweep(cfg)
 		check(err)
@@ -648,14 +799,51 @@ func guardReport(rep *Report) error {
 		return fmt.Errorf("guard: concurrent sweep is >%.0f%% slower than serial: %.0f vs %.0f ns",
 			(slowdownTolerance-1)*100, concSweep.NsPerOp, serialSweep.NsPerOp)
 	}
+	// Scheduler determinism, exact: the event scheduler must simulate
+	// the same cluster as the goroutine scheduler, bit for bit.
+	eventSweep := find(rep, "sweep/nas/event")
+	if eventSweep == nil {
+		return fmt.Errorf("guard: missing sweep/nas/event entry")
+	}
+	if eventSweep.Metrics["sim_makespan_sum"] != serialSweep.Metrics["sim_makespan_sum"] {
+		return fmt.Errorf("guard: event sweep changed simulated makespans: %g vs %g",
+			eventSweep.Metrics["sim_makespan_sum"], serialSweep.Metrics["sim_makespan_sum"])
+	}
+	// The large-p event core's bars: the p=4096 EP run must verify,
+	// reproduce bit-for-bit across fresh worlds, use ≥10x fewer host
+	// goroutines than the goroutine scheduler extrapolates to, and hold
+	// less live heap than the goroutine path's channel matrix would.
+	largep := find(rep, "mpi/largep/ep")
+	if largep == nil {
+		return fmt.Errorf("guard: missing mpi/largep/ep entry")
+	}
+	if largep.Metrics["verified"] != 1 {
+		return fmt.Errorf("guard: p=%g event-mode EP did not verify", largep.Metrics["ranks"])
+	}
+	if largep.Metrics["deterministic"] != 1 {
+		return fmt.Errorf("guard: p=%g event-mode EP is not bit-deterministic across fresh worlds",
+			largep.Metrics["ranks"])
+	}
+	if ratio := largep.Metrics["goroutine_ratio"]; ratio < 10 {
+		return fmt.Errorf("guard: event core only %.1fx fewer goroutines than the goroutine path at p=%g (want ≥10x): %g vs %g extrapolated",
+			ratio, largep.Metrics["ranks"],
+			largep.Metrics["goroutines_event"], largep.Metrics["goroutines_extrapolated"])
+	}
+	if largep.Metrics["heap_event_bytes"] >= largep.Metrics["heap_extrapolated_bytes"] {
+		return fmt.Errorf("guard: event core live heap %.0f B at p=%g is not below the goroutine path's extrapolated %.0f B",
+			largep.Metrics["heap_event_bytes"], largep.Metrics["ranks"],
+			largep.Metrics["heap_extrapolated_bytes"])
+	}
 	return nil
 }
 
-// compareReports is the benchstat-style step: every hostparallel and
-// mpi benchmark in the baseline must exist in the current report and
-// must not have slowed down >10%. A guarded baseline entry missing
-// from the new report is an error, not a skip. Only meaningful when
-// both reports come from the same machine.
+// compareReports is the benchstat-style step: every hostparallel, mpi
+// and serve (gateway) benchmark in the baseline must exist in the
+// current report and must not have slowed down >10%. A guarded
+// baseline entry missing from the new report is an error, not a skip —
+// in particular a gateway baseline entry that gridload stopped
+// emitting fails here loudly. Only meaningful when both reports come
+// from the same machine.
 func compareReports(oldPath string, cur *Report) error {
 	old, err := benchfmt.Read(oldPath)
 	if err != nil {
@@ -664,7 +852,8 @@ func compareReports(oldPath string, cur *Report) error {
 	compared := 0
 	for i := range old.Results {
 		o := &old.Results[i]
-		if !strings.HasPrefix(o.Name, "hostparallel/") && !strings.HasPrefix(o.Name, "mpi/") {
+		if !strings.HasPrefix(o.Name, "hostparallel/") && !strings.HasPrefix(o.Name, "mpi/") &&
+			!strings.HasPrefix(o.Name, "serve/") {
 			continue
 		}
 		n := find(cur, o.Name)
@@ -684,7 +873,7 @@ func compareReports(oldPath string, cur *Report) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("compare: no hostparallel/mpi benchmarks in common with %s", oldPath)
+		return fmt.Errorf("compare: no hostparallel/mpi/serve benchmarks in common with %s", oldPath)
 	}
 	return nil
 }

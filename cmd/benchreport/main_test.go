@@ -1,0 +1,64 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func writeBaseline(t *testing.T, entries []Entry) string {
+	t.Helper()
+	rep := Report{Schema: benchfmt.Schema, Results: entries}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareFailsOnMissingGatewayEntry pins the loud-failure contract:
+// a serve/ (gateway) baseline entry that the current report no longer
+// contains is an error naming the entry, never a silent skip.
+func TestCompareFailsOnMissingGatewayEntry(t *testing.T) {
+	path := writeBaseline(t, []Entry{
+		{Name: "serve/submit/cached", NsPerOp: 100},
+		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
+	})
+	cur := &Report{Results: []Entry{{Name: "mpi/allreduce/pooled", NsPerOp: 100}}}
+	err := compareReports(path, cur)
+	if err == nil || !strings.Contains(err.Error(), "serve/submit/cached") {
+		t.Fatalf("missing gateway baseline entry not reported: %v", err)
+	}
+}
+
+func TestCompareGuardsAllPolicedPrefixes(t *testing.T) {
+	base := []Entry{
+		{Name: "hostparallel/treebuild/workers=1", NsPerOp: 100},
+		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
+		{Name: "serve/submit/cached", NsPerOp: 100},
+		{Name: "gravmicro/unguarded", NsPerOp: 100}, // not policed
+	}
+	path := writeBaseline(t, base)
+
+	ok := &Report{Results: []Entry{
+		{Name: "hostparallel/treebuild/workers=1", NsPerOp: 105},
+		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
+		{Name: "serve/submit/cached", NsPerOp: 109},
+	}}
+	if err := compareReports(path, ok); err != nil {
+		t.Fatalf("within-tolerance report failed: %v", err)
+	}
+
+	for _, name := range []string{"hostparallel/treebuild/workers=1", "mpi/allreduce/pooled", "serve/submit/cached"} {
+		cur := &Report{Results: make([]Entry, len(ok.Results))}
+		copy(cur.Results, ok.Results)
+		slow := cur.Find(name)
+		slow.NsPerOp = 120
+		err := compareReports(path, cur)
+		if err == nil || !strings.Contains(err.Error(), name) {
+			t.Fatalf("%s slowdown not reported: %v", name, err)
+		}
+	}
+}

@@ -10,11 +10,15 @@
 //	metablade -table 3 -class W
 //	metablade -table 2 -particles 60000
 //	metablade -table 2 -sweep     # run the sweep's worlds concurrently
+//	metablade -table 2 -fabric fattree -mpi-mode event
 //	metablade -obs-json out.json -trace out.trace
 //
 // -sweep runs Table 2's independent per-CPU-count worlds concurrently
 // on the host pool (bounded by -procs); rows and observability output
-// are bit-identical to the serial sweep.
+// are bit-identical to the serial sweep. -fabric selects the
+// interconnect topology (star, fattree, torus2d, torus3d) and
+// -mpi-mode the rank scheduler (auto, goroutine, event); schedulers
+// are bit-identical, topologies change simulated times.
 //
 // With an observability output requested (-obs-json, -obs-csv, -trace,
 // or -format json) and no explicit table or figure selection, metablade
@@ -42,6 +46,8 @@ func main() {
 	class := flag.String("class", "W", "NPB class for table 3 (S, W, A)")
 	particles := flag.Int("particles", 0, "particle count override for table 2 / figure 3")
 	sweep := flag.Bool("sweep", false, "run table 2's independent worlds concurrently on the host pool")
+	fabric := flag.String("fabric", "", "table 2 interconnect topology: star (default), fattree, torus2d, torus3d")
+	mode := flag.String("mpi-mode", "", "table 2 rank scheduler: auto (default: event at >= 256 ranks), goroutine, event")
 	flag.Parse()
 	d.Check(d.Setup())
 
@@ -50,6 +56,10 @@ func main() {
 			Particles:  *particles,
 			Concurrent: *sweep,
 			EngineSpec: d.SpecEngine(),
+			FabricModeSpec: core.FabricModeSpec{
+				Fabric: *fabric,
+				Mode:   *mode,
+			},
 		}
 	}
 	runSpec := func(s core.ExperimentSpec) {

@@ -100,6 +100,10 @@ type Table2Config struct {
 	Engine      treecode.Engine
 	ErrorBudget float64
 	GroupWalk   bool
+	// Fabric names the interconnect topology (see NASSweepConfig.Fabric).
+	Fabric string
+	// Mode selects the rank scheduler (see NASSweepConfig.Mode).
+	Mode string
 }
 
 // DefaultTable2Config mirrors the paper's sweep of the 24-blade chassis.
@@ -139,7 +143,17 @@ func (r *Run) Table2(cfg Table2Config) ([]Table2Row, *metrics.Table, error) {
 		o := &outs[i]
 		p := cfg.CPUCounts[i]
 		s := nbody.NewPlummer(cfg.Particles, 1, 2001)
-		wcfg := mpi.Config{Fabric: netsim.FastEthernet()}
+		f := netsim.FastEthernet()
+		if err := netsim.ApplyTopology(f, cfg.Fabric, p); err != nil {
+			o.err = err
+			return
+		}
+		event, err := ResolveMPIMode(cfg.Mode, p)
+		if err != nil {
+			o.err = err
+			return
+		}
+		wcfg := mpi.Config{Fabric: f, Event: event}
 		if cfg.Concurrent {
 			// The concurrent sweep keeps every world's channels alive at
 			// once; the LET exchange never queues deeply, so cap the

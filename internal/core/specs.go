@@ -103,6 +103,39 @@ func (*Table1Spec) Run(r *Run) (*SpecResult, error) {
 	return &SpecResult{Kind: "table1", Text: fmt.Sprintf("%s\n", t), Data: rows}, nil
 }
 
+// FabricModeSpec is the interconnect-topology and rank-scheduler
+// selection shared by the parallel experiment kinds, in flag spelling.
+// The zero value keeps the paper's star switch and the automatic
+// scheduler choice (event-driven at or above EventAutoThreshold
+// ranks); Normalize folds the explicit defaults ("star", "auto") into
+// the zero value so both spellings hash identically, and specs that
+// omit the fields keep their historical hashes.
+type FabricModeSpec struct {
+	Fabric string `json:"fabric,omitempty"`
+	Mode   string `json:"mpi_mode,omitempty"`
+}
+
+func (f *FabricModeSpec) normalize() {
+	f.Fabric = strings.ToLower(f.Fabric)
+	if f.Fabric == "star" {
+		f.Fabric = ""
+	}
+	f.Mode = strings.ToLower(f.Mode)
+	if f.Mode == "auto" {
+		f.Mode = ""
+	}
+}
+
+func (f *FabricModeSpec) validate() error {
+	if err := netsim.ApplyTopology(netsim.FastEthernet(), f.Fabric, 4); err != nil {
+		return err
+	}
+	if _, err := ResolveMPIMode(f.Mode, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
 // --- table2 ---
 
 // Table2Spec runs the MetaBlade N-body scalability sweep.
@@ -113,6 +146,7 @@ type Table2Spec struct {
 	Concurrent bool    `json:"concurrent,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
 	EngineSpec
+	FabricModeSpec
 }
 
 func (*Table2Spec) Kind() string { return "table2" }
@@ -129,6 +163,7 @@ func (s *Table2Spec) Normalize() {
 		s.Theta = def.Theta
 	}
 	s.EngineSpec.normalize()
+	s.FabricModeSpec.normalize()
 }
 
 func (s *Table2Spec) Validate() error {
@@ -146,6 +181,9 @@ func (s *Table2Spec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("workers %d", s.Workers)
 	}
+	if err := s.FabricModeSpec.validate(); err != nil {
+		return err
+	}
 	return s.EngineSpec.validate()
 }
 
@@ -157,6 +195,8 @@ func (s *Table2Spec) Run(r *Run) (*SpecResult, error) {
 		Concurrent: s.Concurrent,
 		Workers:    s.Workers,
 		Engine:     s.resolve(),
+		Fabric:     s.Fabric,
+		Mode:       s.Mode,
 	}
 	rows, t, err := r.Table2(cfg)
 	if err != nil {
@@ -372,6 +412,8 @@ type NASSweepSpec struct {
 	Workers    int    `json:"workers,omitempty"`
 	Native     bool   `json:"native,omitempty"`
 	Contention bool   `json:"contention,omitempty"`
+	EPOnly     bool   `json:"ep_only,omitempty"`
+	FabricModeSpec
 }
 
 func (*NASSweepSpec) Kind() string { return "nassweep" }
@@ -384,6 +426,7 @@ func (s *NASSweepSpec) Normalize() {
 	if len(s.Ranks) == 0 {
 		s.Ranks = DefaultNASSweepConfig().Ranks
 	}
+	s.FabricModeSpec.normalize()
 }
 
 func (s *NASSweepSpec) Validate() error {
@@ -398,7 +441,7 @@ func (s *NASSweepSpec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("workers %d", s.Workers)
 	}
-	return nil
+	return s.FabricModeSpec.validate()
 }
 
 func (s *NASSweepSpec) Run(r *Run) (*SpecResult, error) {
@@ -409,6 +452,9 @@ func (s *NASSweepSpec) Run(r *Run) (*SpecResult, error) {
 		Workers:    s.Workers,
 		Native:     s.Native,
 		Contention: s.Contention,
+		Fabric:     s.Fabric,
+		Mode:       s.Mode,
+		EPOnly:     s.EPOnly,
 	}
 	rows, t, err := r.NASSweep(cfg)
 	if err != nil {
@@ -419,13 +465,18 @@ func (s *NASSweepSpec) Run(r *Run) (*SpecResult, error) {
 
 // --- naskernels ---
 
-// NASKernelsSpec runs the serial NPB kernels, verifies them, and
-// (by default) rates them on the Table 3 processors. Rate is a pointer
-// so an omitted field means the flag default, true.
+// NASKernelsSpec runs the NPB kernels, verifies them, and (by default)
+// rates them on the Table 3 processors. Rate is a pointer so an
+// omitted field means the flag default, true. Ranks > 0 switches to
+// the distributed kernels (EP and IS) on a simulated world of that
+// size, with the fabric topology and rank scheduler from
+// FabricModeSpec; rows then carry the simulated makespan.
 type NASKernelsSpec struct {
 	Class  string `json:"class,omitempty"`
 	Kernel string `json:"kernel,omitempty"`
 	Rate   *bool  `json:"rate,omitempty"`
+	Ranks  int    `json:"ranks,omitempty"`
+	FabricModeSpec
 }
 
 func (*NASKernelsSpec) Kind() string { return "naskernels" }
@@ -440,6 +491,7 @@ func (s *NASKernelsSpec) Normalize() {
 		t := true
 		s.Rate = &t
 	}
+	s.FabricModeSpec.normalize()
 }
 
 func (s *NASKernelsSpec) Validate() error {
@@ -458,10 +510,17 @@ func (s *NASKernelsSpec) Validate() error {
 			return fmt.Errorf("unknown kernel %q", s.Kernel)
 		}
 	}
-	return nil
+	if s.Ranks < 0 {
+		return fmt.Errorf("ranks %d", s.Ranks)
+	}
+	if s.Ranks > 0 && s.Kernel != "" && s.Kernel != "EP" && s.Kernel != "IS" {
+		return fmt.Errorf("kernel %q has no distributed implementation (want EP or IS)", s.Kernel)
+	}
+	return s.FabricModeSpec.validate()
 }
 
-// NASKernelRow is one kernel's verification and rating result.
+// NASKernelRow is one kernel's verification and rating result. Ranks
+// and SimSec are set only by distributed (Ranks > 0) runs.
 type NASKernelRow struct {
 	Kernel   string    `json:"kernel"`
 	Class    string    `json:"class"`
@@ -469,9 +528,95 @@ type NASKernelRow struct {
 	Checksum float64   `json:"checksum"`
 	WallSec  float64   `json:"wall_sec"`
 	Mops     []float64 `json:"mops,omitempty"`
+	Ranks    int       `json:"ranks,omitempty"`
+	SimSec   float64   `json:"sim_sec,omitempty"`
+}
+
+// runParallel is the Ranks > 0 arm of NASKernelsSpec.Run: the
+// distributed EP/IS kernels on one simulated world per kernel.
+func (s *NASKernelsSpec) runParallel(r *Run) (*SpecResult, error) {
+	costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateClassW)
+	if err != nil {
+		return nil, err
+	}
+	p := s.Ranks
+	event, err := ResolveMPIMode(s.Mode, p)
+	if err != nil {
+		return nil, err
+	}
+	mk := func() (*mpi.World, error) {
+		f := netsim.FastEthernet()
+		if err := netsim.ApplyTopology(f, s.Fabric, p); err != nil {
+			return nil, err
+		}
+		w, err := mpi.NewWorldWithConfig(p, mpi.Config{
+			Fabric:       f,
+			ChannelDepth: sweepChannelDepth,
+			Event:        event,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Tracer = r.Tracer
+		return w, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-6s %-9s %-14s %-8s %-14s %-12s\n",
+		"Code", "Class", "Verified", "Checksum", "Ranks", "Sim (s)", "Wall")
+	var rows []NASKernelRow
+	runK := func(name string, run func(w *mpi.World) (*nas.ParallelResult, error)) error {
+		if s.Kernel != "" && !strings.EqualFold(name, s.Kernel) {
+			return nil
+		}
+		w, err := mk()
+		if err != nil {
+			return err
+		}
+		sp := r.Tracer.Begin(obs.PidHost, 0, "nasbench", fmt.Sprintf("%s.p%d", name, p))
+		t0 := time.Now()
+		res, err := run(w)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		sp.End(map[string]any{"ranks": p, "verified": res.Verified})
+		r.gather(w)
+		kname := obs.SanitizeName(name)
+		r.Snap.SetGauge("nasbench."+kname+".sim", "s", "simulated parallel makespan", res.SimTime)
+		if res.Verified {
+			r.Snap.AddCounter("nasbench.verified", "", "kernels passing verification", 1)
+		}
+		fmt.Fprintf(&b, "%-4s %-6s %-9v %-14.6g %-8d %-14.6g %-12v\n",
+			res.Kernel, res.Class, res.Verified, res.Checksum, p, res.SimTime,
+			wall.Round(time.Millisecond))
+		rows = append(rows, NASKernelRow{
+			Kernel:   res.Kernel,
+			Class:    string(res.Class),
+			Verified: res.Verified,
+			Checksum: res.Checksum,
+			WallSec:  wall.Seconds(),
+			Ranks:    p,
+			SimSec:   res.SimTime,
+		})
+		return nil
+	}
+	if err := runK("EP", func(w *mpi.World) (*nas.ParallelResult, error) {
+		return nas.ParallelEP(w, nas.Class(s.Class[0]), costs)
+	}); err != nil {
+		return nil, err
+	}
+	if err := runK("IS", func(w *mpi.World) (*nas.ParallelResult, error) {
+		return nas.ParallelIS(w, nas.Class(s.Class[0]), costs)
+	}); err != nil {
+		return nil, err
+	}
+	return &SpecResult{Kind: "naskernels", Text: b.String(), Data: rows}, nil
 }
 
 func (s *NASKernelsSpec) Run(r *Run) (*SpecResult, error) {
+	if s.Ranks > 0 {
+		return s.runParallel(r)
+	}
 	snap := r.Snap
 	var costs []cpu.EffCosts
 	var procs []cpu.Processor

@@ -45,6 +45,39 @@ type NASSweepConfig struct {
 	Native bool
 	// Contention enables the per-port occupancy model on the fabric.
 	Contention bool
+	// Fabric names the interconnect topology: "star" (or empty, the
+	// paper's switch), "fattree", "torus2d", "torus3d". Shaped fabrics
+	// get topology-aware hop counts and hierarchical collectives.
+	Fabric string
+	// Mode selects the rank scheduler: "goroutine", "event", or
+	// ""/"auto" (event at or above EventAutoThreshold ranks).
+	Mode string
+	// EPOnly skips the IS kernel. Large-p sweeps set it: IS keys scale
+	// with the key space per rank and its all-to-all holds O(p²) live
+	// slices, while EP stays lean at any p.
+	EPOnly bool
+}
+
+// EventAutoThreshold is the world size at which ""/"auto" scheduler
+// mode switches from goroutine ranks to the event-driven scheduler.
+// Below it the goroutine path is cheap and battle-tested; above it
+// size² channels and host stacks dominate. Either choice yields
+// bit-identical results.
+const EventAutoThreshold = 256
+
+// ResolveMPIMode maps a scheduler-mode name and world size to
+// Config.Event: "event" and "goroutine" force, ""/"auto" picks the
+// event scheduler at or above EventAutoThreshold ranks.
+func ResolveMPIMode(mode string, p int) (bool, error) {
+	switch mode {
+	case "event":
+		return true, nil
+	case "goroutine":
+		return false, nil
+	case "", "auto":
+		return p >= EventAutoThreshold, nil
+	}
+	return false, fmt.Errorf("core: unknown MPI mode %q (want goroutine, event or auto)", mode)
 }
 
 // DefaultNASSweepConfig sweeps EP and IS over every blade count of the
@@ -90,10 +123,18 @@ func (r *Run) NASSweep(cfg NASSweepConfig) ([]NASSweepRow, *metrics.Table, error
 	mkWorld := func(p int) (*mpi.World, error) {
 		f := netsim.FastEthernet()
 		f.PortContention = cfg.Contention
+		if err := netsim.ApplyTopology(f, cfg.Fabric, p); err != nil {
+			return nil, err
+		}
+		event, err := ResolveMPIMode(cfg.Mode, p)
+		if err != nil {
+			return nil, err
+		}
 		w, err := mpi.NewWorldWithConfig(p, mpi.Config{
 			Fabric:       f,
 			Native:       cfg.Native,
 			ChannelDepth: sweepChannelDepth,
+			Event:        event,
 		})
 		if err != nil {
 			return nil, err
@@ -112,6 +153,9 @@ func (r *Run) NASSweep(cfg NASSweepConfig) ([]NASSweepRow, *metrics.Table, error
 		}
 		o.wEP = wEP
 		if o.ep, o.err = nas.ParallelEP(wEP, cfg.Class, costs); o.err != nil {
+			return
+		}
+		if cfg.EPOnly {
 			return
 		}
 		wIS, err := mkWorld(p)
@@ -152,30 +196,39 @@ func (r *Run) NASSweep(cfg NASSweepConfig) ([]NASSweepRow, *metrics.Table, error
 				epT1 *= float64(p) // fallback if the sweep skips p=1
 			}
 		}
-		if isT1 == 0 {
+		if isT1 == 0 && o.is != nil {
 			isT1 = o.is.SimTime
 			if p != 1 {
 				isT1 *= float64(p)
 			}
 		}
 		hEP, mEP := o.wEP.PoolStats()
-		hIS, mIS := o.wIS.PoolStats()
 		row := NASSweepRow{
 			Ranks:      p,
 			EPTime:     o.ep.SimTime,
-			ISTime:     o.is.SimTime,
 			EPSpeedup:  metrics.Speedup(epT1, o.ep.SimTime),
-			ISSpeedup:  metrics.Speedup(isT1, o.is.SimTime),
-			CommBytes:  o.ep.CommByte + o.is.CommByte,
-			PoolHits:   hEP + hIS,
-			PoolMisses: mEP + mIS,
+			CommBytes:  o.ep.CommByte,
+			PoolHits:   hEP,
+			PoolMisses: mEP,
 		}
-		r.gather(o.wEP, o.wIS)
+		if o.is != nil {
+			hIS, mIS := o.wIS.PoolStats()
+			row.ISTime = o.is.SimTime
+			row.ISSpeedup = metrics.Speedup(isT1, o.is.SimTime)
+			row.CommBytes += o.is.CommByte
+			row.PoolHits += hIS
+			row.PoolMisses += mIS
+			r.gather(o.wEP, o.wIS)
+		} else {
+			r.gather(o.wEP)
+		}
 		pfx := fmt.Sprintf("nassweep.p%02d.", p)
 		r.Snap.SetGauge(pfx+"ep.time", "s", "simulated EP makespan", row.EPTime)
-		r.Snap.SetGauge(pfx+"is.time", "s", "simulated IS makespan", row.ISTime)
 		r.Snap.SetGauge(pfx+"ep.speedup", "", "EP speedup over one blade", row.EPSpeedup)
-		r.Snap.SetGauge(pfx+"is.speedup", "", "IS speedup over one blade", row.ISSpeedup)
+		if o.is != nil {
+			r.Snap.SetGauge(pfx+"is.time", "s", "simulated IS makespan", row.ISTime)
+			r.Snap.SetGauge(pfx+"is.speedup", "", "IS speedup over one blade", row.ISSpeedup)
+		}
 		r.Snap.SetGauge(pfx+"bytes", "bytes", "EP+IS payload bytes", float64(row.CommBytes))
 		r.Snap.SetGauge(pfx+"pool.hits", "", "buffer-pool hits, EP+IS worlds", float64(row.PoolHits))
 		r.Snap.SetGauge(pfx+"pool.misses", "", "buffer-pool misses, EP+IS worlds", float64(row.PoolMisses))

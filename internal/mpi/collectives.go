@@ -48,6 +48,39 @@ var (
 // Config.Native switches Allreduce/Bcast to dedicated algorithms
 // (recursive doubling; pipelined segmented ring) whose virtual-time costs
 // follow the corresponding netsim formulas instead of the classic ones.
+//
+// On fabrics with a topology (fat-tree, torus) Allreduce and Bcast go
+// hierarchical automatically: the binomial schedules run over subgroups
+// shaped to the fabric's cheapest neighbourhood (netsim.Fabric.GroupWidth)
+// — first within each group, then across group leaders. The subgroup
+// forms (groupReduceInto/groupBcastInto) generalize the classic
+// schedules: over the whole world they send exactly the historical
+// message sequence, so flat fabrics are bit-for-bit unchanged, and the
+// emergent hierarchical times match netsim's exact predictors
+// (AllreduceTime/BcastTime) bit-for-bit.
+
+// groupMember maps virtual rank v of a collective subgroup — the
+// arithmetic sequence base, base+stride, … of count ranks, rotated so
+// the member at rootIdx is virtual rank 0 — to its world rank. With
+// base 0, stride 1, count p and rootIdx root this is exactly the
+// classic (rank−root) mod p rotation.
+func groupMember(base, stride, count, rootIdx, v int) int {
+	return base + stride*((v+rootIdx)%count)
+}
+
+// hierWidth reports the first-level group width when the fabric makes
+// hierarchical collectives worthwhile (strictly between 1 and p), 0
+// otherwise. netsim's exact predictors mirror this dispatch.
+func (c *Comm) hierWidth() int {
+	f := c.world.fabric
+	if f == nil {
+		return 0
+	}
+	if w := f.GroupWidth(); w > 1 && w < c.world.size {
+		return w
+	}
+	return 0
+}
 
 // sendDisposableF64 sends a pooled buffer the caller is finished with:
 // small payloads take the eager path (copied into a fresh pooled buffer,
@@ -87,6 +120,14 @@ func (c *Comm) Barrier() {
 func (c *Comm) Bcast(root int, buf []float64) []float64 {
 	prev := c.enterCollective(ctxBcast)
 	defer c.exitCollective(prev)
+	if w := c.hierWidth(); w > 0 {
+		out := buf
+		if c.rank != root {
+			out = c.pool.acquireF64(len(buf))
+		}
+		c.hierBcastInto(root, out, w)
+		return out
+	}
 	if c.world.cfg.Native {
 		out := buf
 		if c.rank != root {
@@ -129,6 +170,10 @@ func (c *Comm) Bcast(root int, buf []float64) []float64 {
 func (c *Comm) BcastInto(root int, buf []float64) {
 	prev := c.enterCollective(ctxBcast)
 	defer c.exitCollective(prev)
+	if w := c.hierWidth(); w > 0 {
+		c.hierBcastInto(root, buf, w)
+		return
+	}
 	if c.world.cfg.Native {
 		c.bcastPipeInto(root, buf)
 		return
@@ -140,31 +185,69 @@ func (c *Comm) BcastInto(root int, buf []float64) {
 // message sequence is identical to Bcast's, so virtual times match
 // bit-for-bit; the received pooled buffer is recycled after the copy.
 func (c *Comm) bcastInto(root int, buf []float64) {
-	p := c.Size()
-	if p == 1 {
+	c.groupBcastInto(0, 1, c.Size(), root, buf)
+}
+
+// groupBcastInto runs the classic binomial broadcast over a subgroup
+// (see groupMember), receiving into buf. Over the whole world it is
+// bcastInto, message for message.
+func (c *Comm) groupBcastInto(base, stride, count, rootIdx int, buf []float64) {
+	if count <= 1 {
 		return
 	}
-	vrank := (c.rank - root + p) % p
+	idx := (c.rank - base) / stride
+	vrank := (idx - rootIdx + count) % count
 	top := 1
-	for top < p {
+	for top < count {
 		top *= 2
 	}
 	for dist := top / 2; dist >= 1; dist /= 2 {
 		switch vrank % (2 * dist) {
 		case 0:
-			dst := vrank + dist
-			if dst < p {
-				c.sendF64((dst+root)%p, tagBcast, buf, false)
+			if dst := vrank + dist; dst < count {
+				c.sendF64(groupMember(base, stride, count, rootIdx, dst), tagBcast, buf, false)
 			}
 		case dist:
-			m := c.recv((vrank-dist+root)%p, tagBcast)
-			if len(m.f64) != len(buf) {
-				panic(fmt.Sprintf("mpi: bcast length mismatch %d vs %d", len(m.f64), len(buf)))
-			}
-			copy(buf, m.f64)
-			c.pool.releaseF64(m.f64)
+			m := c.recv(groupMember(base, stride, count, rootIdx, vrank-dist), tagBcast)
+			c.absorbBcast(buf, m.f64)
 		}
 	}
+}
+
+// absorbBcast copies a received broadcast payload into buf and
+// recycles the wire buffer (shared by the blocking and event-mode
+// broadcast forms).
+func (c *Comm) absorbBcast(buf, wire []float64) {
+	if len(wire) != len(buf) {
+		panic(fmt.Sprintf("mpi: bcast length mismatch %d vs %d", len(wire), len(buf)))
+	}
+	copy(buf, wire)
+	c.pool.releaseF64(wire)
+}
+
+// hierBcastInto is the topology-aware broadcast: the root hands the
+// buffer to its group leader, the leaders run a binomial broadcast
+// among themselves, then each leader broadcasts within its group — the
+// deep (cross-pod, cross-ring) links carry O(log(p/w)) messages
+// instead of O(log p).
+func (c *Comm) hierBcastInto(root int, buf []float64, w int) {
+	p := c.world.size
+	rootLeader := (root / w) * w
+	if root != rootLeader {
+		if c.rank == root {
+			c.sendF64(rootLeader, tagBcast, buf, false)
+		} else if c.rank == rootLeader {
+			m := c.recv(root, tagBcast)
+			c.absorbBcast(buf, m.f64)
+		}
+	}
+	base := (c.rank / w) * w
+	if c.rank == base {
+		g := (p + w - 1) / w
+		c.groupBcastInto(0, w, g, rootLeader/w, buf)
+	}
+	n := min(w, p-base)
+	c.groupBcastInto(base, 1, n, 0, buf)
 }
 
 // bcastPipeInto is the native broadcast: a pipelined ring with
@@ -231,24 +314,49 @@ func (c *Comm) ReduceInto(root int, op Op, buf []float64) bool {
 // Reduce, so virtual times match bit-for-bit. Returns true at root.
 // buf belongs to the caller, so the non-root send copies it eagerly.
 func (c *Comm) reduceInto(root int, op Op, buf []float64) bool {
-	p := c.Size()
-	if p == 1 {
+	return c.groupReduceInto(0, 1, c.Size(), root, op, buf)
+}
+
+// groupReduceInto runs the classic binomial reduction over a subgroup
+// (see groupMember), folding into buf; returns true on the member at
+// rootIdx, which holds the result. Over the whole world it is
+// reduceInto, message for message.
+func (c *Comm) groupReduceInto(base, stride, count, rootIdx int, op Op, buf []float64) bool {
+	if count <= 1 {
 		return true
 	}
-	vrank := (c.rank - root + p) % p
-	for dist := 1; dist < p; dist *= 2 {
+	idx := (c.rank - base) / stride
+	vrank := (idx - rootIdx + count) % count
+	for dist := 1; dist < count; dist *= 2 {
 		if vrank%(2*dist) == 0 {
 			src := vrank + dist
-			if src < p {
-				c.reduceFold(op, buf, (src+root)%p)
+			if src < count {
+				c.reduceFold(op, buf, groupMember(base, stride, count, rootIdx, src))
 			}
 		} else {
-			dst := vrank - dist
-			c.sendF64((dst+root)%p, tagReduce, buf, false)
+			c.sendF64(groupMember(base, stride, count, rootIdx, vrank-dist), tagReduce, buf, false)
 			return false
 		}
 	}
 	return vrank == 0
+}
+
+// hierAllreduceInto is the topology-aware allreduce: reduce within
+// each width-w group onto its leader (the group's lowest rank), reduce
+// across leaders onto rank 0, broadcast back across leaders, then
+// within each group. The first and last stages cross only the fabric's
+// cheapest links.
+func (c *Comm) hierAllreduceInto(op Op, buf []float64, w int) {
+	p := c.world.size
+	base := (c.rank / w) * w
+	n := min(w, p-base)
+	c.groupReduceInto(base, 1, n, 0, op, buf)
+	if c.rank == base {
+		g := (p + w - 1) / w
+		c.groupReduceInto(0, w, g, 0, op, buf)
+		c.groupBcastInto(0, w, g, 0, buf)
+	}
+	c.groupBcastInto(base, 1, n, 0, buf)
 }
 
 // reduceIntoDisposable is reduceInto for a pooled buffer the caller
@@ -280,13 +388,19 @@ func (c *Comm) reduceIntoDisposable(root int, op Op, acc []float64) bool {
 // recycling the wire buffer.
 func (c *Comm) reduceFold(op Op, acc []float64, src int) {
 	m := c.recv(src, tagReduce)
-	if len(m.f64) != len(acc) {
-		panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(m.f64), len(acc)))
+	c.foldReduce(op, acc, m.f64)
+}
+
+// foldReduce folds a received partial into acc and recycles the wire
+// buffer (shared by the blocking and event-mode reductions).
+func (c *Comm) foldReduce(op Op, acc, wire []float64) {
+	if len(wire) != len(acc) {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(wire), len(acc)))
 	}
 	for i := range acc {
-		acc[i] = op(acc[i], m.f64[i])
+		acc[i] = op(acc[i], wire[i])
 	}
-	c.pool.releaseF64(m.f64)
+	c.pool.releaseF64(wire)
 }
 
 // Allreduce combines elementwise with op, result on every rank. The
@@ -311,6 +425,10 @@ func (c *Comm) AllreduceInto(op Op, buf []float64) {
 }
 
 func (c *Comm) allreduceInto(op Op, buf []float64) {
+	if w := c.hierWidth(); w > 0 {
+		c.hierAllreduceInto(op, buf, w)
+		return
+	}
 	if c.world.cfg.Native {
 		c.allreduceRecDbl(op, buf)
 		return

@@ -1,0 +1,389 @@
+package mpi
+
+import "fmt"
+
+// Resumable (state-machine) collectives for the event scheduler. Each
+// mirrors its blocking counterpart operation for operation — the same
+// sends, receives, pool traffic and context tags in the same order —
+// so virtual times, results and counters are bit-identical between
+// World.Run and World.RunEvent. The pattern: Start once, then call
+// Step from Proc.Resume until it reports true; a false means a receive
+// is pending — return from Resume and re-Step on the next dispatch.
+// Re-entry lands on the receive that blocked (loop indices persist;
+// send-then-recv rounds carry a sent flag so nothing is re-sent).
+//
+// On a goroutine-mode world TryRecv blocks like Recv, so the same
+// state-machine code runs under either scheduler.
+
+// groupReduceState is the resumable groupReduceInto.
+type groupReduceState struct {
+	base, stride, count, rootIdx int
+	op                           Op
+	buf                          []float64
+	dist                         int
+	root                         bool
+}
+
+func (s *groupReduceState) start(base, stride, count, rootIdx int, op Op, buf []float64) {
+	*s = groupReduceState{base: base, stride: stride, count: count, rootIdx: rootIdx, op: op, buf: buf, dist: 1}
+}
+
+func (s *groupReduceState) step(c *Comm) bool {
+	if s.count <= 1 {
+		s.root = true
+		return true
+	}
+	idx := (c.rank - s.base) / s.stride
+	vrank := (idx - s.rootIdx + s.count) % s.count
+	for ; s.dist < s.count; s.dist *= 2 {
+		if vrank%(2*s.dist) == 0 {
+			if src := vrank + s.dist; src < s.count {
+				m, ok := c.tryRecv(groupMember(s.base, s.stride, s.count, s.rootIdx, src), tagReduce)
+				if !ok {
+					return false
+				}
+				c.foldReduce(s.op, s.buf, m.f64)
+			}
+		} else {
+			c.sendF64(groupMember(s.base, s.stride, s.count, s.rootIdx, vrank-s.dist), tagReduce, s.buf, false)
+			s.dist = s.count
+			s.root = false
+			return true
+		}
+	}
+	s.root = vrank == 0
+	return true
+}
+
+// groupBcastState is the resumable groupBcastInto.
+type groupBcastState struct {
+	base, stride, count, rootIdx int
+	buf                          []float64
+	dist                         int
+}
+
+func (s *groupBcastState) start(base, stride, count, rootIdx int, buf []float64) {
+	top := 1
+	for top < count {
+		top *= 2
+	}
+	*s = groupBcastState{base: base, stride: stride, count: count, rootIdx: rootIdx, buf: buf, dist: top / 2}
+}
+
+func (s *groupBcastState) step(c *Comm) bool {
+	if s.count <= 1 {
+		return true
+	}
+	idx := (c.rank - s.base) / s.stride
+	vrank := (idx - s.rootIdx + s.count) % s.count
+	for ; s.dist >= 1; s.dist /= 2 {
+		switch vrank % (2 * s.dist) {
+		case 0:
+			if dst := vrank + s.dist; dst < s.count {
+				c.sendF64(groupMember(s.base, s.stride, s.count, s.rootIdx, dst), tagBcast, s.buf, false)
+			}
+		case s.dist:
+			m, ok := c.tryRecv(groupMember(s.base, s.stride, s.count, s.rootIdx, vrank-s.dist), tagBcast)
+			if !ok {
+				return false
+			}
+			c.absorbBcast(s.buf, m.f64)
+		}
+	}
+	return true
+}
+
+// recDblState is the resumable allreduceRecDbl (native mode).
+type recDblState struct {
+	op            Op
+	buf           []float64
+	phase         int // 0 pre-fold, 1 exchange, 2 post-fold, 3 done
+	dist, newrank int
+	q, extra      int
+	sent          bool
+}
+
+func (s *recDblState) start(c *Comm, op Op, buf []float64) {
+	p := c.Size()
+	q := 1
+	for q*2 <= p {
+		q *= 2
+	}
+	*s = recDblState{op: op, buf: buf, q: q, extra: p - q, newrank: c.rank - (p - q), dist: 1}
+}
+
+func (s *recDblState) step(c *Comm) bool {
+	if c.Size() == 1 || s.phase == 3 {
+		s.phase = 3
+		return true
+	}
+	r := c.rank
+	if s.phase == 0 {
+		if r < 2*s.extra {
+			if r%2 == 0 {
+				c.sendF64(r+1, tagAllreduce, s.buf, false)
+				s.newrank = -1
+			} else {
+				m, ok := c.tryRecv(r-1, tagAllreduce)
+				if !ok {
+					return false
+				}
+				if len(m.f64) != len(s.buf) {
+					panic(fmt.Sprintf("mpi: allreduce length mismatch %d vs %d", len(m.f64), len(s.buf)))
+				}
+				for i := range s.buf {
+					s.buf[i] = s.op(m.f64[i], s.buf[i]) // r-1 is the lower block
+				}
+				c.pool.releaseF64(m.f64)
+				s.newrank = r / 2
+			}
+		}
+		s.phase = 1
+	}
+	if s.phase == 1 {
+		if s.newrank >= 0 {
+			for ; s.dist < s.q; s.dist *= 2 {
+				pn := s.newrank ^ s.dist
+				partner := pn + s.extra
+				if pn < s.extra {
+					partner = pn*2 + 1
+				}
+				if !s.sent {
+					c.sendF64(partner, tagAllreduce, s.buf, false)
+					s.sent = true
+				}
+				m, ok := c.tryRecv(partner, tagAllreduce)
+				if !ok {
+					return false
+				}
+				if len(m.f64) != len(s.buf) {
+					panic(fmt.Sprintf("mpi: allreduce length mismatch %d vs %d", len(m.f64), len(s.buf)))
+				}
+				if s.newrank < pn {
+					for i := range s.buf {
+						s.buf[i] = s.op(s.buf[i], m.f64[i])
+					}
+				} else {
+					for i := range s.buf {
+						s.buf[i] = s.op(m.f64[i], s.buf[i])
+					}
+				}
+				c.pool.releaseF64(m.f64)
+				s.sent = false
+			}
+		}
+		s.phase = 2
+	}
+	if r < 2*s.extra {
+		if r%2 == 0 {
+			m, ok := c.tryRecv(r+1, tagAllreduce)
+			if !ok {
+				return false
+			}
+			copy(s.buf, m.f64)
+			c.pool.releaseF64(m.f64)
+		} else {
+			c.sendF64(r-1, tagAllreduce, s.buf, false)
+		}
+	}
+	s.phase = 3
+	return true
+}
+
+// AllreduceState is the resumable AllreduceInto: the same dispatch
+// (hierarchical on shaped fabrics, recursive doubling in native mode,
+// classic reduce+broadcast otherwise) with identical message and pool
+// sequences. Embed it in a Proc, Start once, Step until true.
+type AllreduceState struct {
+	op      Op
+	buf     []float64
+	mode    int // 0 classic, 1 native, 2 hierarchical
+	stage   int
+	w       int
+	red     groupReduceState
+	bc      groupBcastState
+	rd      recDblState
+	prevCtx int
+}
+
+// Start begins the allreduce of buf (combined in place on every rank).
+func (s *AllreduceState) Start(c *Comm, op Op, buf []float64) {
+	s.op, s.buf = op, buf
+	s.prevCtx = c.enterCollective(ctxAllreduce)
+	s.stage = 0
+	p := c.Size()
+	if w := c.hierWidth(); w > 0 {
+		s.mode = 2
+		s.w = w
+		base := (c.rank / w) * w
+		s.red.start(base, 1, min(w, p-base), 0, op, buf)
+	} else if c.world.cfg.Native {
+		s.mode = 1
+		s.rd.start(c, op, buf)
+	} else {
+		s.mode = 0
+		s.red.start(0, 1, p, 0, op, buf)
+	}
+}
+
+// Step advances the allreduce; false means a receive is pending.
+func (s *AllreduceState) Step(c *Comm) bool {
+	switch s.mode {
+	case 1:
+		if !s.rd.step(c) {
+			return false
+		}
+	case 0:
+		if s.stage == 0 {
+			if !s.red.step(c) {
+				return false
+			}
+			s.bc.start(0, 1, c.Size(), 0, s.buf)
+			s.stage = 1
+		}
+		if !s.bc.step(c) {
+			return false
+		}
+	default:
+		p := c.Size()
+		base := (c.rank / s.w) * s.w
+		n := min(s.w, p-base)
+		g := (p + s.w - 1) / s.w
+		if s.stage == 0 { // reduce within the group onto its leader
+			if !s.red.step(c) {
+				return false
+			}
+			if c.rank == base {
+				s.red.start(0, s.w, g, 0, s.op, s.buf)
+				s.stage = 1
+			} else {
+				s.bc.start(base, 1, n, 0, s.buf)
+				s.stage = 3
+			}
+		}
+		if s.stage == 1 { // reduce across leaders onto rank 0
+			if !s.red.step(c) {
+				return false
+			}
+			s.bc.start(0, s.w, g, 0, s.buf)
+			s.stage = 2
+		}
+		if s.stage == 2 { // broadcast back across leaders
+			if !s.bc.step(c) {
+				return false
+			}
+			s.bc.start(base, 1, n, 0, s.buf)
+			s.stage = 3
+		}
+		if !s.bc.step(c) { // broadcast within the group
+			return false
+		}
+	}
+	c.exitCollective(s.prevCtx)
+	return true
+}
+
+// AllgatherIntoState is the resumable AllgatherInto (equal-length
+// contributions ring-gathered into a flat out buffer).
+type AllgatherIntoState struct {
+	out, cur    []float64
+	n, step     int
+	owned, sent bool
+	prevCtx     int
+}
+
+// Start begins the allgather of data into out (len(out) == p*len(data)).
+func (s *AllgatherIntoState) Start(c *Comm, data, out []float64) {
+	s.prevCtx = c.enterCollective(ctxAllgather)
+	p := c.Size()
+	s.n = len(data)
+	if len(out) != p*s.n {
+		panic(fmt.Sprintf("mpi: allgather out length %d, want %d", len(out), p*s.n))
+	}
+	copy(out[c.rank*s.n:], data)
+	s.out = out
+	s.cur = data
+	s.step = 0
+	s.owned, s.sent = false, false
+}
+
+// Step advances the allgather; false means a receive is pending.
+func (s *AllgatherIntoState) Step(c *Comm) bool {
+	p := c.Size()
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for ; s.step < p-1; s.step++ {
+		if !s.sent {
+			if s.owned {
+				c.sendDisposableF64(right, tagAllgather, s.cur)
+			} else {
+				c.sendF64(right, tagAllgather, s.cur, false)
+			}
+			s.sent = true
+		}
+		m, ok := c.tryRecv(left, tagAllgather)
+		if !ok {
+			return false
+		}
+		if len(m.f64) != s.n {
+			panic(fmt.Sprintf("mpi: allgather length mismatch %d vs %d", len(m.f64), s.n))
+		}
+		src := (c.rank - s.step - 1 + p) % p
+		copy(s.out[src*s.n:], m.f64)
+		s.cur = m.f64
+		s.owned = true
+		s.sent = false
+	}
+	if s.owned {
+		c.pool.releaseF64(s.cur)
+	}
+	c.exitCollective(s.prevCtx)
+	return true
+}
+
+// AlltoallIntsState is the resumable AlltoallInts. Rows of Out() are
+// pooled buffers, recyclable with ReleaseI64.
+type AlltoallIntsState struct {
+	send, out [][]int64
+	step      int
+	sent      bool
+	prevCtx   int
+}
+
+// Start begins the personalized exchange (send[d] goes to rank d).
+func (s *AlltoallIntsState) Start(c *Comm, send [][]int64) {
+	s.prevCtx = c.enterCollective(ctxAlltoall)
+	p := c.Size()
+	if len(send) != p {
+		panic("mpi: alltoall needs one slice per rank")
+	}
+	s.send = send
+	s.out = make([][]int64, p)
+	s.out[c.rank] = c.pool.copyI64(send[c.rank])
+	s.step = 1
+	s.sent = false
+}
+
+// Step advances the exchange; false means a receive is pending.
+func (s *AlltoallIntsState) Step(c *Comm) bool {
+	p := c.Size()
+	for ; s.step < p; s.step++ {
+		dst := (c.rank + s.step) % p
+		src := (c.rank - s.step + p) % p
+		if !s.sent {
+			c.sendI64(dst, tagAlltoall, s.send[dst], false)
+			s.sent = true
+		}
+		m, ok := c.tryRecv(src, tagAlltoall)
+		if !ok {
+			return false
+		}
+		s.out[src] = m.i64
+		s.sent = false
+	}
+	c.exitCollective(s.prevCtx)
+	return true
+}
+
+// Out returns the exchange result (element s came from rank s).
+func (s *AlltoallIntsState) Out() [][]int64 { return s.out }

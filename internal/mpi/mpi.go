@@ -108,8 +108,19 @@ type Config struct {
 	// keeps the package default). Purely host-side backpressure —
 	// virtual times never depend on it — but each world preallocates
 	// size²·depth message slots, so harnesses holding many worlds alive
-	// at once (the concurrent rank sweep) set it lower.
+	// at once (the concurrent rank sweep) set it lower. Ignored in
+	// event mode, whose inboxes grow on demand.
 	ChannelDepth int
+	// Event switches the world to the event-driven scheduler: ranks run
+	// as resumable state machines (Proc) dispatched from a pending-op
+	// heap over the virtual clock, instead of one goroutine per rank.
+	// No per-pair channels are allocated (messages land in lazily
+	// created per-rank inboxes), so worlds of 10k+ ranks cost a few
+	// hundred bytes per rank instead of size² channels. Virtual times,
+	// results and observability counters are bit-identical to the
+	// goroutine path. Run an event world with RunEvent; blocking
+	// Recv/collective calls panic on it.
+	Event bool
 }
 
 // DefaultSegmentBytes is the native pipelined-broadcast segment size.
@@ -120,8 +131,13 @@ type World struct {
 	size   int
 	fabric *netsim.Fabric // nil = zero-cost network
 	cfg    Config
-	chans  []chan message // chans[src*size+dst]
+	chans  []chan message // chans[src*size+dst]; nil in event mode
 	comms  []*Comm
+
+	// Event-mode state: per-rank inboxes (src → FIFO queue, created on
+	// first use) and the ready-rank heap, live during RunEvent.
+	queues []map[int]*msgQueue
+	sched  *evScheduler
 
 	// Watchdog plumbing, armed per Run.
 	progress  atomic.Uint64
@@ -166,14 +182,25 @@ func NewWorldWithConfig(size int, cfg Config) (*World, error) {
 	if cfg.WatchdogTimeout == 0 {
 		cfg.WatchdogTimeout = DefaultWatchdogTimeout
 	}
+	if f := cfg.Fabric; f != nil {
+		if cap := f.Capacity(); cap > 0 && size > cap {
+			return nil, fmt.Errorf("mpi: world size %d exceeds fabric %q capacity %d", size, f.Name, cap)
+		}
+	}
 	depth := cfg.ChannelDepth
 	if depth <= 0 {
 		depth = ChannelDepth
 	}
 	w := &World{size: size, fabric: cfg.Fabric, cfg: cfg}
-	w.chans = make([]chan message, size*size)
-	for i := range w.chans {
-		w.chans[i] = make(chan message, depth)
+	if cfg.Event {
+		// Event mode: no size² channels — inbox queues materialize on
+		// first message per (src,dst) pair.
+		w.queues = make([]map[int]*msgQueue, size)
+	} else {
+		w.chans = make([]chan message, size*size)
+		for i := range w.chans {
+			w.chans[i] = make(chan message, depth)
+		}
 	}
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
@@ -196,6 +223,9 @@ func (w *World) Size() int { return w.size }
 // rank's pending operation (rank, peer, tag), which Run returns as an
 // error — a mismatched send/recv fails loudly instead of hanging.
 func (w *World) Run(fn func(c *Comm) error) error {
+	if w.cfg.Event {
+		return fmt.Errorf("mpi: Run on an event-driven world; use RunEvent")
+	}
 	var stopWatch chan struct{}
 	if w.cfg.WatchdogTimeout > 0 {
 		w.stallCh = make(chan struct{})
@@ -415,7 +445,9 @@ func (c *Comm) send(dst int, m message, copied bool) {
 	start := c.now
 	m.sent = start
 	if f := c.world.fabric; f != nil {
-		m.arrival = c.now + f.PointToPoint(m.payloadBytes())
+		// The hop count is rank-pair dependent on the shaped fabrics; on
+		// a star this computes exactly the legacy PointToPoint.
+		m.arrival = c.now + f.PointToPointRanks(c.rank, dst, m.payloadBytes())
 		// The sender's CPU is busy for the software half of the overhead.
 		c.now += f.SoftwareOverhead / 2
 	} else {
@@ -436,6 +468,13 @@ func (c *Comm) send(dst int, m message, copied bool) {
 		} else {
 			c.rdvMsgs++
 		}
+	}
+	if c.world.cfg.Event {
+		// Event mode: sends never block — append to the receiver's inbox
+		// and wake it if it is waiting on exactly this sender.
+		c.world.deliver(c.rank, dst, m)
+		c.world.progress.Add(1)
+		return
 	}
 	ch := c.chanTo(dst)
 	select {
@@ -486,6 +525,9 @@ func (c *Comm) recv(src, tag int) message {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: rank %d receives from invalid rank %d", c.rank, src))
 	}
+	if c.world.cfg.Event {
+		panic(fmt.Sprintf("mpi: rank %d blocking recv on an event-driven world; use TryRecv from a Proc", c.rank))
+	}
 	ch := c.chanFrom(src)
 	var m message
 	select {
@@ -502,6 +544,13 @@ func (c *Comm) recv(src, tag int) message {
 				c.world.cfg.WatchdogTimeout, c.rank, src, tag, c.world.stallDiag))
 		}
 	}
+	return c.finishRecv(m, src, tag)
+}
+
+// finishRecv is the shared post-pop accounting for the goroutine and
+// event receive paths: progress, tag check, egress-port contention, and
+// the arrival clamp — identical arithmetic in both modes.
+func (c *Comm) finishRecv(m message, src, tag int) message {
 	c.world.progress.Add(1)
 	if m.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
@@ -526,6 +575,36 @@ func (c *Comm) recv(src, tag int) message {
 		c.now = m.arrival
 	}
 	return m
+}
+
+// tryRecv is the event-mode receive: it pops the next message from src
+// if one is queued (the accounting is finishRecv, same as recv), or
+// records the pending operation and reports false so the scheduler
+// parks the rank until that sender delivers.
+func (c *Comm) tryRecv(src, tag int) (message, bool) {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d receives from invalid rank %d", c.rank, src))
+	}
+	if !c.world.cfg.Event {
+		// Goroutine worlds have no inboxes; state machines degrade to
+		// the blocking path so the same Proc code runs in both modes.
+		return c.recv(src, tag), true
+	}
+	var m message
+	ok := false
+	if qm := c.world.queues[c.rank]; qm != nil {
+		if q := qm[src]; q != nil {
+			m, ok = q.pop()
+		}
+	}
+	if !ok {
+		c.waitPeer.Store(int32(src))
+		c.waitTag.Store(int32(tag))
+		c.waitOp.Store(1)
+		return message{}, false
+	}
+	c.waitOp.Store(0)
+	return c.finishRecv(m, src, tag), true
 }
 
 // Send transmits float64 data to dst with a tag. The slice is copied

@@ -498,10 +498,10 @@ func TestEmergentTimesTrackAnalyticalFormulas(t *testing.T) {
 		for _, bytes := range sizes {
 			n := bytes / 8
 			type tc struct {
-				name     string
-				got      float64
-				want     float64
-				lo, hi   float64
+				name   string
+				got    float64
+				want   float64
+				lo, hi float64
 			}
 			cases := []tc{
 				{"allreduce/classic",

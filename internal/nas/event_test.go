@@ -1,0 +1,162 @@
+package nas
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// worldSnapshot renders a world's full observability state to JSON so
+// two runs can be compared byte-for-byte.
+func worldSnapshot(t *testing.T, w *mpi.World) []byte {
+	t.Helper()
+	s := obs.NewSnapshot()
+	s.Gather(w)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEventModeBitIdenticalKernels pins the tentpole contract: the
+// event-driven scheduler reproduces the goroutine path bit-for-bit —
+// virtual times, results, checksums and every observability counter —
+// for both NPB kernels across rank counts, fabrics and collective
+// algorithms.
+func TestEventModeBitIdenticalKernels(t *testing.T) {
+	costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics := map[string]func() *netsim.Fabric{
+		"star": netsim.FastEthernet,
+		"contended": func() *netsim.Fabric {
+			f := netsim.FastEthernet()
+			f.PortContention = true
+			return f
+		},
+		"fattree": func() *netsim.Fabric {
+			f := netsim.FastEthernet()
+			if err := netsim.ApplyTopology(f, "fattree", 64); err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"torus2d": func() *netsim.Fabric {
+			f := netsim.FastEthernet()
+			if err := netsim.ApplyTopology(f, "torus2d", 64); err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+	}
+	for fname, mkFab := range fabrics {
+		for _, native := range []bool{false, true} {
+			for _, p := range []int{2, 8, 24, 64} {
+				mk := func(event bool) *mpi.World {
+					w, err := mpi.NewWorldWithConfig(p, mpi.Config{
+						Fabric: mkFab(),
+						Native: native,
+						Event:  event,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return w
+				}
+				check := func(kernel string, run func(w *mpi.World) (*ParallelResult, error)) {
+					wg, we := mk(false), mk(true)
+					rg, err := run(wg)
+					if err != nil {
+						t.Fatalf("%s/%s native=%v p=%d goroutine: %v", fname, kernel, native, p, err)
+					}
+					re, err := run(we)
+					if err != nil {
+						t.Fatalf("%s/%s native=%v p=%d event: %v", fname, kernel, native, p, err)
+					}
+					if math.Float64bits(rg.SimTime) != math.Float64bits(re.SimTime) {
+						t.Errorf("%s/%s native=%v p=%d: sim time %x vs %x", fname, kernel, native, p,
+							math.Float64bits(rg.SimTime), math.Float64bits(re.SimTime))
+					}
+					if math.Float64bits(rg.Checksum) != math.Float64bits(re.Checksum) {
+						t.Errorf("%s/%s native=%v p=%d: checksum differs", fname, kernel, native, p)
+					}
+					if rg.Verified != re.Verified || rg.CommByte != re.CommByte || rg.Ops != re.Ops {
+						t.Errorf("%s/%s native=%v p=%d: result fields differ: %+v vs %+v",
+							fname, kernel, native, p, rg, re)
+					}
+					if !re.Verified {
+						t.Errorf("%s/%s native=%v p=%d: event run failed verification", fname, kernel, native, p)
+					}
+					sg, se := worldSnapshot(t, wg), worldSnapshot(t, we)
+					if !bytes.Equal(sg, se) {
+						t.Errorf("%s/%s native=%v p=%d: obs snapshots differ:\n%s\nvs\n%s",
+							fname, kernel, native, p, sg, se)
+					}
+				}
+				check("EP", func(w *mpi.World) (*ParallelResult, error) {
+					return ParallelEP(w, ClassS, costs)
+				})
+				check("IS", func(w *mpi.World) (*ParallelResult, error) {
+					return ParallelIS(w, ClassS, costs)
+				})
+			}
+		}
+	}
+}
+
+// TestEventModePoolInvariant runs the pooled-vs-unpooled bit-identity
+// property on the event path: pooling must stay invisible in the
+// physics under the event scheduler too.
+func TestEventModePoolInvariant(t *testing.T) {
+	costs, err := cpu.CalibrateFor(cpu.NewTM5600(), cpu.MissRateClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8, 64} {
+		run := func(disable bool) (*ParallelResult, *ParallelResult) {
+			mk := func() *mpi.World {
+				w, err := mpi.NewWorldWithConfig(p, mpi.Config{
+					Fabric:      netsim.FastEthernet(),
+					DisablePool: disable,
+					Event:       true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w
+			}
+			ep, err := ParallelEP(mk(), ClassS, costs)
+			if err != nil {
+				t.Fatalf("p=%d EP: %v", p, err)
+			}
+			is, err := ParallelIS(mk(), ClassS, costs)
+			if err != nil {
+				t.Fatalf("p=%d IS: %v", p, err)
+			}
+			return ep, is
+		}
+		epP, isP := run(false)
+		epU, isU := run(true)
+		for _, pair := range []struct {
+			name string
+			a, b *ParallelResult
+		}{{"EP", epP, epU}, {"IS", isP, isU}} {
+			if math.Float64bits(pair.a.SimTime) != math.Float64bits(pair.b.SimTime) {
+				t.Errorf("p=%d %s: sim time differs pooled vs unpooled", p, pair.name)
+			}
+			if math.Float64bits(pair.a.Checksum) != math.Float64bits(pair.b.Checksum) {
+				t.Errorf("p=%d %s: checksum differs pooled vs unpooled", p, pair.name)
+			}
+			if !pair.a.Verified || !pair.b.Verified {
+				t.Errorf("p=%d %s: must verify", p, pair.name)
+			}
+		}
+	}
+}

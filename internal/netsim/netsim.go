@@ -41,6 +41,19 @@ type Fabric struct {
 	// The analytical formulas that depend on it (FanIn, BcastPipelined)
 	// take it into account; the classic formulas are unchanged.
 	PortContention bool
+	// Topology selects the fabric shape. The zero value, TopoStar, is
+	// the paper's single switch: every pair of nodes is Hops apart, so
+	// all historical numbers are unchanged. The other shapes make the
+	// hop count rank-pair dependent (see HopsBetween) and give the MPI
+	// layer a natural group width for hierarchical collectives.
+	Topology Topology
+	// Radix is the switch port count k of a k-ary fat-tree
+	// (TopoFatTree): k/2 hosts per leaf switch, k/2 leaves per pod,
+	// k pods — k³/4 hosts. Must be even and ≥ 2.
+	Radix int
+	// TorusX, TorusY, TorusZ are the torus dimensions (TopoTorus2D uses
+	// X×Y, TopoTorus3D uses X×Y×Z). Ranks are laid out x-major.
+	TorusX, TorusY, TorusZ int
 }
 
 // FastEthernet returns the paper's fabric: 100 Mb/s switched Ethernet with
@@ -88,6 +101,23 @@ func (f *Fabric) Validate() error {
 	}
 	if f.ReduceOpSecPerElem < 0 {
 		return fmt.Errorf("netsim: %s: negative reduce op cost", f.Name)
+	}
+	switch f.Topology {
+	case TopoStar:
+	case TopoFatTree:
+		if f.Radix < 2 || f.Radix%2 != 0 {
+			return fmt.Errorf("netsim: %s: fat-tree radix %d must be even and ≥ 2", f.Name, f.Radix)
+		}
+	case TopoTorus2D:
+		if f.TorusX < 1 || f.TorusY < 1 {
+			return fmt.Errorf("netsim: %s: torus2d dimensions %dx%d", f.Name, f.TorusX, f.TorusY)
+		}
+	case TopoTorus3D:
+		if f.TorusX < 1 || f.TorusY < 1 || f.TorusZ < 1 {
+			return fmt.Errorf("netsim: %s: torus3d dimensions %dx%dx%d", f.Name, f.TorusX, f.TorusY, f.TorusZ)
+		}
+	default:
+		return fmt.Errorf("netsim: %s: unknown topology %d", f.Name, f.Topology)
 	}
 	return nil
 }

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStarHopsAndPointToPointUnchanged(t *testing.T) {
+	// Legacy fabrics are stars: HopsBetween returns Fabric.Hops for
+	// every distinct pair and PointToPointRanks computes exactly what
+	// PointToPoint does, bit for bit.
+	f := FastEthernet()
+	if f.Topology != TopoStar {
+		t.Fatalf("FastEthernet topology = %v", f.Topology)
+	}
+	for _, pair := range [][2]int{{0, 1}, {3, 17}, {100, 2}} {
+		if got := f.HopsBetween(pair[0], pair[1]); got != f.Hops {
+			t.Fatalf("star hops(%d,%d) = %d, want %d", pair[0], pair[1], got, f.Hops)
+		}
+	}
+	if f.HopsBetween(5, 5) != 0 {
+		t.Fatal("self distance not 0")
+	}
+	for _, bytes := range []int{0, 1, 1460, 1461, 1 << 20} {
+		a := f.PointToPoint(bytes)
+		b := f.PointToPointRanks(2, 9, bytes)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("star PointToPointRanks(%d B) = %.17g, PointToPoint = %.17g", bytes, b, a)
+		}
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	f := FastEthernet()
+	f.Topology = TopoFatTree
+	f.Radix = 4 // leaf = 2 hosts, pod = 4 hosts, capacity 16
+	cases := []struct{ a, b, want int }{
+		{0, 1, 2},  // same leaf
+		{0, 2, 4},  // same pod, different leaf
+		{0, 4, 6},  // different pod
+		{5, 4, 2},  // symmetric, same leaf
+		{15, 0, 6}, // far corner
+	}
+	for _, c := range cases {
+		if got := f.HopsBetween(c.a, c.b); got != c.want {
+			t.Errorf("fattree hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := f.HopsBetween(c.b, c.a); got != c.want {
+			t.Errorf("fattree hops(%d,%d) asymmetric", c.b, c.a)
+		}
+	}
+	if got := f.Capacity(); got != 16 {
+		t.Fatalf("fattree radix-4 capacity = %d, want 16", got)
+	}
+	if got := f.GroupWidth(); got != 2 {
+		t.Fatalf("fattree radix-4 group width = %d, want 2", got)
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	f := FastEthernet()
+	f.Topology = TopoTorus2D
+	f.TorusX, f.TorusY = 4, 3
+	cases := []struct{ a, b, want int }{
+		{0, 1, 1},  // X neighbour
+		{0, 3, 1},  // X wraps: (3,0) is adjacent to (0,0)
+		{0, 4, 1},  // Y neighbour
+		{0, 8, 1},  // Y wraps on a ring of 3
+		{0, 5, 2},  // (1,1)
+		{0, 6, 3},  // (2,1): 2 in X + 1 in Y
+		{1, 11, 3}, // (1,0) to (3,2): 2 in X, Y wraps to 1
+	}
+	for _, c := range cases {
+		if got := f.HopsBetween(c.a, c.b); got != c.want {
+			t.Errorf("torus2d hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if got := f.Capacity(); got != 12 {
+		t.Fatalf("4x3 torus capacity = %d", got)
+	}
+	if got := f.GroupWidth(); got != 4 {
+		t.Fatalf("4x3 torus group width = %d", got)
+	}
+
+	f3 := FastEthernet()
+	f3.Topology = TopoTorus3D
+	f3.TorusX, f3.TorusY, f3.TorusZ = 2, 2, 2
+	if got := f3.HopsBetween(0, 7); got != 3 {
+		t.Fatalf("2x2x2 torus corner distance = %d, want 3", got)
+	}
+	if got := f3.Capacity(); got != 8 {
+		t.Fatalf("2x2x2 torus capacity = %d", got)
+	}
+}
+
+func TestApplyTopologySizes(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+	}{
+		{"star", 4096}, {"", 1},
+		{"fattree", 2}, {"fattree", 64}, {"fattree", 1024}, {"fattree", 4096},
+		{"torus", 7}, {"torus2d", 64}, {"torus2d", 1024},
+		{"torus3d", 30}, {"torus3d", 4096},
+	}
+	for _, c := range cases {
+		f := FastEthernet()
+		if err := ApplyTopology(f, c.name, c.p); err != nil {
+			t.Fatalf("ApplyTopology(%q, %d): %v", c.name, c.p, err)
+		}
+		if cap := f.Capacity(); cap != 0 && cap < c.p {
+			t.Errorf("ApplyTopology(%q, %d): capacity %d too small", c.name, c.p, cap)
+		}
+		if err := f.Validate(); err != nil {
+			t.Errorf("ApplyTopology(%q, %d): invalid fabric: %v", c.name, c.p, err)
+		}
+		if c.name != "star" && c.name != "" && f.Topology == TopoStar {
+			t.Errorf("ApplyTopology(%q, %d): still a star", c.name, c.p)
+		}
+	}
+	// The smallest even fat-tree radix covering p: k³/4 ≥ p.
+	f := FastEthernet()
+	if err := ApplyTopology(f, "fattree", 64); err != nil {
+		t.Fatal(err)
+	}
+	if f.Radix != 8 {
+		t.Fatalf("fattree radix for p=64: %d, want 8 (6³/4 = 54 < 64 ≤ 128)", f.Radix)
+	}
+}
+
+func TestApplyTopologyErrors(t *testing.T) {
+	if err := ApplyTopology(FastEthernet(), "hypercube", 8); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if err := ApplyTopology(FastEthernet(), "fattree", 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestValidateTopologyShapes(t *testing.T) {
+	f := FastEthernet()
+	f.Topology = TopoFatTree
+	f.Radix = 3 // odd: no half-radix leaf
+	if err := f.Validate(); err == nil {
+		t.Fatal("odd fat-tree radix accepted")
+	}
+	g := FastEthernet()
+	g.Topology = TopoTorus2D
+	g.TorusX, g.TorusY = 4, 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero torus dimension accepted")
+	}
+	h := FastEthernet()
+	h.Topology = Topology(99)
+	if err := h.Validate(); err == nil {
+		t.Fatal("unknown topology value accepted")
+	}
+}
+
+func TestPredictorsDegenerateAtP1(t *testing.T) {
+	f := FastEthernet()
+	for _, topo := range []string{"star", "fattree", "torus2d"} {
+		g := FastEthernet()
+		if err := ApplyTopology(g, topo, 8); err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range []func(int, int) float64{g.AllreduceTime, g.BcastTime, g.ReduceTime, g.FanInTime} {
+			if got := fn(1, 1024); got != 0 {
+				t.Fatalf("%s predictor at p=1 = %g", topo, got)
+			}
+		}
+	}
+	_ = f
+}
+
+func TestShapedFabricsCostMoreThanStar(t *testing.T) {
+	// A fat-tree or torus pays per-hop latency a star doesn't, so its
+	// exact collective times must dominate the star's at equal size.
+	const p, bytes = 64, 8 << 10
+	star := FastEthernet()
+	ft := FastEthernet()
+	if err := ApplyTopology(ft, "fattree", p); err != nil {
+		t.Fatal(err)
+	}
+	torus := FastEthernet()
+	if err := ApplyTopology(torus, "torus2d", p); err != nil {
+		t.Fatal(err)
+	}
+	if star.ReduceTime(p, bytes) > ft.ReduceTime(p, bytes) {
+		t.Fatal("fat-tree reduce cheaper than star")
+	}
+	if star.ReduceTime(p, bytes) > torus.ReduceTime(p, bytes) {
+		t.Fatal("torus reduce cheaper than star")
+	}
+}
