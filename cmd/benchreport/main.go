@@ -7,7 +7,7 @@
 // event scheduler) and the large-p event core (a p=4096 EP world
 // against the goroutine scheduler's extrapolated footprint).
 //
-//	benchreport -out BENCH_pr8.json            # write the report
+//	benchreport -out BENCH_pr9.json            # write the report
 //	benchreport -guard                         # fail on in-run regressions
 //	benchreport -compare old.json              # fail on >10% ns/op slowdown
 //
@@ -37,6 +37,7 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/designopt"
 	"repro/internal/kernels"
 	"repro/internal/mpi"
 	"repro/internal/nas"
@@ -76,6 +77,7 @@ func main() {
 	rep.Results = append(rep.Results, mpiEntries()...)
 	rep.Results = append(rep.Results, largePEntries()...)
 	rep.Results = append(rep.Results, sweepEntries()...)
+	rep.Results = append(rep.Results, designoptEntries()...)
 
 	for _, e := range rep.Results {
 		fmt.Printf("%-44s %14.0f ns/op  %d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
@@ -96,7 +98,7 @@ func main() {
 	}
 	if *compare != "" {
 		check(compareReports(*compare, &rep))
-		fmt.Printf("compare: no hostparallel/mpi/serve benchmark slowed down >%.0f%% vs %s\n",
+		fmt.Printf("compare: no hostparallel/mpi/serve/designopt benchmark slowed down >%.0f%% vs %s\n",
 			(slowdownTolerance-1)*100, *compare)
 	}
 }
@@ -658,6 +660,125 @@ func sweepEntries() []Entry {
 	return out
 }
 
+// designoptEntries benchmarks the ToPPeR design-space optimizer:
+// default-grid sweep throughput with the memo on (the production
+// configuration), the memo's speedup on a fabric-heavy grid (six
+// fabrics, node counts to 1024 — the regime where the O(p) network
+// solve dominates a candidate's cost), the zero-allocation steady
+// state of the candidate evaluator, and the frontier's determinism
+// across worker counts and pruning.
+func designoptEntries() []Entry {
+	var out []Entry
+
+	// Default grid, exhaustively enumerated (NoPrune) so candidates/sec
+	// and the memo hit rate measure the evaluator, not the prune rate.
+	g := designopt.DefaultGrid()
+	var res *designopt.Result
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = designopt.Optimize(g, designopt.Options{NoPrune: true})
+			check2(b, err)
+		}
+	})
+	out = append(out, Entry{
+		Name:    "designopt/sweep/default",
+		NsPerOp: float64(r.NsPerOp()),
+		Metrics: map[string]float64{
+			"candidates":         float64(res.Candidates),
+			"candidates_per_sec": float64(res.Candidates) / (float64(r.NsPerOp()) / 1e9),
+			"memo_hit_rate":      res.MemoHitRate(),
+			"frontier_size":      float64(len(res.Frontier)),
+		},
+	})
+
+	// The memo's reason to exist, priced on a fabric-heavy grid. Both
+	// sides enumerate exhaustively so they do identical candidate work;
+	// only the network-solve caching differs.
+	heavy := designopt.DefaultGrid()
+	heavy.Fabrics = heavy.Fabrics[:0]
+	for _, name := range []string{"fe", "ge", "fe-fattree", "ge-fattree", "ge-torus2d", "ge-torus3d"} {
+		f, err := designopt.ParseFabric(name)
+		check(err)
+		heavy.Fabrics = append(heavy.Fabrics, f)
+	}
+	heavy.Nodes = []int{64, 128, 256, 512, 1024}
+	for _, noMemo := range []bool{false, true} {
+		name := "designopt/sweep/memo=on"
+		if noMemo {
+			name = "designopt/sweep/memo=off"
+		}
+		var hres *designopt.Result
+		hr := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				hres, err = designopt.Optimize(heavy, designopt.Options{NoPrune: true, NoMemo: noMemo})
+				check2(b, err)
+			}
+		})
+		out = append(out, Entry{
+			Name:    name,
+			NsPerOp: float64(hr.NsPerOp()),
+			Metrics: map[string]float64{
+				"candidates":    float64(hres.Candidates),
+				"memo_hit_rate": hres.MemoHitRate(),
+				"frontier_size": float64(len(hres.Frontier)),
+			},
+		})
+	}
+
+	// The steady-state inner loop: with every memo cell warm, scoring a
+	// candidate must allocate nothing.
+	mg := designopt.DefaultGrid()
+	memo := designopt.NewMemo(mg)
+	ev := designopt.NewEvaluator(mg, memo)
+	na, nn, nf := len(mg.Ambients), len(mg.Nodes), len(mg.Fabrics)
+	var pt designopt.Point
+	for fi := 0; fi < nf; fi++ {
+		for ni := 0; ni < nn; ni++ {
+			ev.Eval(0, 0, fi, ni, 0, &pt)
+		}
+	}
+	i := 0
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for k := 0; k < b.N; k++ {
+			ev.Eval(i%len(mg.CPUs), (i/len(mg.CPUs))%len(mg.Packs), i%nf, i%nn, i%na, &pt)
+			i++
+		}
+	})
+	out = append(out, Entry{
+		Name:        "designopt/eval",
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+
+	// Determinism fingerprint: the pruned frontier at 1, 2 and 8 workers
+	// must equal the exhaustive frontier bit for bit.
+	dg := designopt.DefaultGrid()
+	exhaustive, err := designopt.Optimize(dg, designopt.Options{NoPrune: true})
+	check(err)
+	want := designopt.Fingerprint(exhaustive.Frontier)
+	deterministic := 1.0
+	t0 := time.Now()
+	for _, workers := range []int{1, 2, 8} {
+		pr, err := designopt.Optimize(dg, designopt.Options{Workers: workers})
+		check(err)
+		if designopt.Fingerprint(pr.Frontier) != want {
+			deterministic = 0
+		}
+	}
+	out = append(out, Entry{
+		Name:    "designopt/frontier/deterministic",
+		NsPerOp: float64(time.Since(t0).Nanoseconds()) / 3,
+		Metrics: map[string]float64{
+			"deterministic": deterministic,
+			"frontier_size": float64(len(exhaustive.Frontier)),
+		},
+	})
+	return out
+}
+
 func check2(b *testing.B, err error) {
 	if err != nil {
 		b.Fatal(err)
@@ -834,16 +955,57 @@ func guardReport(rep *Report) error {
 			largep.Metrics["heap_event_bytes"], largep.Metrics["ranks"],
 			largep.Metrics["heap_extrapolated_bytes"])
 	}
+	// The design-space optimizer's bars: memoized sweep throughput of at
+	// least 100k candidate evaluations per second, a ≥90% memo hit rate
+	// on the default grid, a ≥10x memo speedup on the fabric-heavy grid
+	// (exact same candidate work either side, only the caching differs),
+	// an allocation-free steady-state evaluator, and a pruned frontier
+	// bit-identical to exhaustive enumeration across worker counts.
+	dflt := find(rep, "designopt/sweep/default")
+	if dflt == nil {
+		return fmt.Errorf("guard: missing designopt/sweep/default entry")
+	}
+	if cps := dflt.Metrics["candidates_per_sec"]; cps < 100_000 {
+		return fmt.Errorf("guard: memoized design sweep at %.0f candidates/sec, want ≥100000", cps)
+	}
+	if hit := dflt.Metrics["memo_hit_rate"]; hit < 0.9 {
+		return fmt.Errorf("guard: memo hit rate %.3f on the default grid, want ≥0.9", hit)
+	}
+	memoOn := find(rep, "designopt/sweep/memo=on")
+	memoOff := find(rep, "designopt/sweep/memo=off")
+	if memoOn == nil || memoOff == nil {
+		return fmt.Errorf("guard: missing designopt/sweep/memo entries")
+	}
+	if memoOff.NsPerOp < 10*memoOn.NsPerOp {
+		return fmt.Errorf("guard: memo speedup only %.1fx on the fabric-heavy grid (want ≥10x): %.0f vs %.0f ns/op",
+			memoOff.NsPerOp/memoOn.NsPerOp, memoOff.NsPerOp, memoOn.NsPerOp)
+	}
+	evalEntry := find(rep, "designopt/eval")
+	if evalEntry == nil {
+		return fmt.Errorf("guard: missing designopt/eval entry")
+	}
+	if evalEntry.AllocsPerOp != 0 {
+		return fmt.Errorf("guard: steady-state candidate evaluation allocates: %d allocs/op, want 0",
+			evalEntry.AllocsPerOp)
+	}
+	detEntry := find(rep, "designopt/frontier/deterministic")
+	if detEntry == nil {
+		return fmt.Errorf("guard: missing designopt/frontier/deterministic entry")
+	}
+	if detEntry.Metrics["deterministic"] != 1 {
+		return fmt.Errorf("guard: pruned frontier differs from exhaustive enumeration across worker counts")
+	}
 	return nil
 }
 
-// compareReports is the benchstat-style step: every hostparallel, mpi
-// and serve (gateway) benchmark in the baseline must exist in the
-// current report and must not have slowed down >10%. A guarded
-// baseline entry missing from the new report is an error, not a skip —
-// in particular a gateway baseline entry that gridload stopped
-// emitting fails here loudly. Only meaningful when both reports come
-// from the same machine.
+// compareReports is the benchstat-style step: every hostparallel, mpi,
+// serve (gateway) and designopt (design-space optimizer) benchmark in
+// the baseline must exist in the current report and must not have
+// slowed down >10%. A guarded baseline entry missing from the new
+// report is an error, not a skip — in particular a gateway baseline
+// entry that gridload stopped emitting, or an optimizer entry that
+// benchreport stopped emitting, fails here loudly. Only meaningful
+// when both reports come from the same machine.
 func compareReports(oldPath string, cur *Report) error {
 	old, err := benchfmt.Read(oldPath)
 	if err != nil {
@@ -853,7 +1015,7 @@ func compareReports(oldPath string, cur *Report) error {
 	for i := range old.Results {
 		o := &old.Results[i]
 		if !strings.HasPrefix(o.Name, "hostparallel/") && !strings.HasPrefix(o.Name, "mpi/") &&
-			!strings.HasPrefix(o.Name, "serve/") {
+			!strings.HasPrefix(o.Name, "serve/") && !strings.HasPrefix(o.Name, "designopt/") {
 			continue
 		}
 		n := find(cur, o.Name)
@@ -873,7 +1035,7 @@ func compareReports(oldPath string, cur *Report) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("compare: no hostparallel/mpi/serve benchmarks in common with %s", oldPath)
+		return fmt.Errorf("compare: no hostparallel/mpi/serve/designopt benchmarks in common with %s", oldPath)
 	}
 	return nil
 }

@@ -33,11 +33,27 @@ func TestCompareFailsOnMissingGatewayEntry(t *testing.T) {
 	}
 }
 
+// TestCompareFailsOnMissingDesignoptEntry: the design-space optimizer's
+// benchmarks are policed the same way — a designopt/ baseline entry
+// missing from the current report fails loudly.
+func TestCompareFailsOnMissingDesignoptEntry(t *testing.T) {
+	path := writeBaseline(t, []Entry{
+		{Name: "designopt/sweep/default", NsPerOp: 100},
+		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
+	})
+	cur := &Report{Results: []Entry{{Name: "mpi/allreduce/pooled", NsPerOp: 100}}}
+	err := compareReports(path, cur)
+	if err == nil || !strings.Contains(err.Error(), "designopt/sweep/default") {
+		t.Fatalf("missing designopt baseline entry not reported: %v", err)
+	}
+}
+
 func TestCompareGuardsAllPolicedPrefixes(t *testing.T) {
 	base := []Entry{
 		{Name: "hostparallel/treebuild/workers=1", NsPerOp: 100},
 		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
 		{Name: "serve/submit/cached", NsPerOp: 100},
+		{Name: "designopt/sweep/default", NsPerOp: 100},
 		{Name: "gravmicro/unguarded", NsPerOp: 100}, // not policed
 	}
 	path := writeBaseline(t, base)
@@ -46,12 +62,13 @@ func TestCompareGuardsAllPolicedPrefixes(t *testing.T) {
 		{Name: "hostparallel/treebuild/workers=1", NsPerOp: 105},
 		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
 		{Name: "serve/submit/cached", NsPerOp: 109},
+		{Name: "designopt/sweep/default", NsPerOp: 102},
 	}}
 	if err := compareReports(path, ok); err != nil {
 		t.Fatalf("within-tolerance report failed: %v", err)
 	}
 
-	for _, name := range []string{"hostparallel/treebuild/workers=1", "mpi/allreduce/pooled", "serve/submit/cached"} {
+	for _, name := range []string{"hostparallel/treebuild/workers=1", "mpi/allreduce/pooled", "serve/submit/cached", "designopt/sweep/default"} {
 		cur := &Report{Results: make([]Entry, len(ok.Results))}
 		copy(cur.Results, ok.Results)
 		slow := cur.Find(name)

@@ -1,12 +1,14 @@
 // Command obscheck validates the repository's JSON artifacts against
-// their checked-in schema documents. CI uses it to pin three contracts:
-// the driver observability snapshot, the experiment-spec envelope, and
-// the gridd gateway's result document.
+// their checked-in schema documents. CI uses it to pin four contracts:
+// the driver observability snapshot, the experiment-spec envelope, the
+// gridd gateway's generic result document, and the topperopt design-
+// space result (frontier-point fields plus optimizer counters).
 //
 //	metablade -obs-json obs.json -particles 4000
 //	obscheck obs.json
 //	obscheck -mode spec request.json
 //	obscheck -mode result result.json
+//	obscheck -mode topperopt result.json
 //
 // Each mode has a default schema under schema/; -schema overrides it.
 package main
@@ -29,19 +31,20 @@ var modes = map[string]struct {
 	"obs":    {"schema/obs_snapshot_v1.json", obs.ValidateSnapshotJSON},
 	"spec":   {"schema/experiment_spec_v1.json", core.ValidateSpecJSON},
 	"result": {"schema/gridd_result_v1.json", serve.ValidateResultJSON},
+	"topperopt": {"schema/topperopt_result_v1.json", serve.ValidateTopperOptResultJSON},
 }
 
 func main() {
-	mode := flag.String("mode", "obs", "artifact type to validate (obs, spec, result)")
+	mode := flag.String("mode", "obs", "artifact type to validate (obs, spec, result, topperopt)")
 	schemaPath := flag.String("schema", "", "schema document to validate against (default per -mode)")
 	flag.Parse()
 	m, ok := modes[*mode]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "obscheck: unknown -mode %q (want obs, spec or result)\n", *mode)
+		fmt.Fprintf(os.Stderr, "obscheck: unknown -mode %q (want obs, spec, result or topperopt)\n", *mode)
 		os.Exit(2)
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-mode obs|spec|result] [-schema schema.json] artifact.json...")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-mode obs|spec|result|topperopt] [-schema schema.json] artifact.json...")
 		os.Exit(2)
 	}
 	if *schemaPath == "" {

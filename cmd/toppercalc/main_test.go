@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// goldenDefaultText is what `toppercalc` with no flags has always
+// printed. The -optimize mode and the flag-help fixes must not move a
+// byte of it: scripts diff this output.
+const goldenDefaultText = "Cluster: 24 nodes, 2.0 kW compute + 1.0 kW cooling, 20 ft², traditional rackmount\nReliability model: 6.1 expected failures/year, availability 0.9972\n\nCost of ownership and density (custom)\nMetric                     Value               Unit     \n---------------------------------------------------------\ntopper.cost.acquisition    17000               $        \ntopper.cost.downtime       11520               $        \ntopper.cost.power_cooling  10722.240000000002  $        \ntopper.cost.space          8000                $        \ntopper.cost.sysadmin       60000               $        \ntopper.cost.tco            107242.24           $        \ntopper.perf_power          0.9150326797385621  Gflop/kW \ntopper.perf_space          140                 Mflop/ft2\ntopper.priceperf           6.071428571428571   $/Mflops \ntopper.topper              38.3008             $/Mflops \n\n"
+
+// TestDefaultOutputByteIdentical runs the exact spec the CLI's default
+// flags construct (including the explicit-zero-capable Ambient and KWh
+// pointers) and pins the rendering byte for byte.
+func TestDefaultOutputByteIdentical(t *testing.T) {
+	amb, kwh := 24.0, 0.10
+	r, err := core.RunSpec(core.NewRun(), &core.TCOSpec{
+		Nodes: 24, Watts: 85, Acquisition: 17000, Gflops: 2.8,
+		Ambient: &amb, Years: 4, KWh: &kwh, Space: 100, CPUHour: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Text != goldenDefaultText {
+		t.Fatalf("default output changed:\ngot  %q\nwant %q", r.Text, goldenDefaultText)
+	}
+}
+
+// TestExplicitZerosHonored: -ambient 0 and -kwh 0 are physically
+// meaningful (a 0 °C machine room, free electricity) and must reach the
+// model as zeros, not be replaced by the defaults — the pointer
+// semantics the flag help documents.
+func TestExplicitZerosHonored(t *testing.T) {
+	amb, kwh := 0.0, 0.0
+	r, err := core.RunSpec(core.NewRun(), &core.TCOSpec{
+		Nodes: 24, Watts: 85, Acquisition: 17000, Gflops: 2.8,
+		Ambient: &amb, Years: 4, KWh: &kwh, Space: 100, CPUHour: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Text == goldenDefaultText {
+		t.Fatal("explicit zeros produced the default output — they were overwritten by defaults")
+	}
+}
+
+func TestCSVFlagParsing(t *testing.T) {
+	if got := splitCSV(" fe, ge-fattree ,"); len(got) != 2 || got[0] != "fe" || got[1] != "ge-fattree" {
+		t.Errorf("splitCSV = %v", got)
+	}
+	if got := splitCSV(""); got != nil {
+		t.Errorf("splitCSV(\"\") = %v, want nil", got)
+	}
+	ints, err := splitInts("8,24,64")
+	if err != nil || len(ints) != 3 || ints[2] != 64 {
+		t.Errorf("splitInts = %v, %v", ints, err)
+	}
+	if _, err := splitInts("8,x"); err == nil {
+		t.Error("splitInts accepted a non-integer")
+	}
+	floats, err := splitFloats("18,27.5")
+	if err != nil || len(floats) != 2 || floats[1] != 27.5 {
+		t.Errorf("splitFloats = %v, %v", floats, err)
+	}
+	if _, err := splitFloats("18,warm"); err == nil {
+		t.Error("splitFloats accepted a non-number")
+	}
+}

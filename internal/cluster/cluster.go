@@ -38,6 +38,10 @@ var (
 	NodePIII   = NodeSpec{Name: "Pentium III node", CPUModel: "PIII-500", WattsLoad: 45, RequiresActiveCooling: true}
 	NodeAthlon = NodeSpec{Name: "Athlon node", CPUModel: "AthlonMP-1200", WattsLoad: 50, RequiresActiveCooling: true}
 	NodeAlpha  = NodeSpec{Name: "Alpha EV56 node", CPUModel: "AlphaEV56-533", WattsLoad: 90, RequiresActiveCooling: true}
+	// NodePower3 is a workstation-class RS/6000 node (Table 1's fifth
+	// CPU): fast, hot and priced like a workstation, which is exactly
+	// the trade-off the design-space optimizer exists to expose.
+	NodePower3 = NodeSpec{Name: "Power3 node", CPUModel: "Power3-375", WattsLoad: 140, RequiresActiveCooling: true}
 )
 
 // Packaging describes how nodes are aggregated physically.
@@ -203,8 +207,14 @@ func (c *Cluster) FailureRateMultiplier(r ReliabilityParams) float64 {
 	return math.Pow(2, (c.NodeTempC()-r.BaseTempC)/10)
 }
 
-// ExpectedFailuresPerYear returns the cluster-wide failure rate.
+// ExpectedFailuresPerYear returns the cluster-wide failure rate. A
+// degenerate reliability model (non-positive MTBF) yields zero rather
+// than a division by zero, so an optimizer sweep over hand-built
+// parameters cannot push NaN or Inf into a cost frontier.
 func (c *Cluster) ExpectedFailuresPerYear(r ReliabilityParams) float64 {
+	if r.BaseMTBFHours <= 0 {
+		return 0
+	}
 	perNodeRate := c.FailureRateMultiplier(r) / r.BaseMTBFHours // failures/hour
 	return perNodeRate * float64(c.Nodes) * 8760
 }
@@ -236,6 +246,12 @@ func (c *Cluster) FailureSim(r ReliabilityParams, years float64, seed uint64) (f
 	rng := sim.NewRNG(seed)
 	horizon := years * 8760
 	perNodeMTBF := r.BaseMTBFHours / c.FailureRateMultiplier(r)
+	// Degenerate inputs (zero/negative MTBF, or a multiplier driven to
+	// Inf) would make every exponential draw zero — an event storm
+	// pinned at t=0 that never advances. Report zero failures instead.
+	if !(perNodeMTBF > 0) || math.IsInf(perNodeMTBF, 0) || c.Nodes <= 0 {
+		return 0, 0
+	}
 
 	var scheduleNode func(node int)
 	scheduleNode = func(node int) {

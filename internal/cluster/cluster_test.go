@@ -184,6 +184,36 @@ func TestFailureSimDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestFailureSimDegenerateInputsReturnZero(t *testing.T) {
+	// A zero or negative MTBF must not divide by zero in the closed
+	// form, and must not pin the event simulation at t=0 (every
+	// exponential draw would be zero — an infinite loop). The design-
+	// space optimizer sweeps hand-built parameter sets, so degenerate
+	// inputs have to degrade to "no failures", never NaN or a hang.
+	c := metaBlade(t)
+	for _, mtbf := range []float64{0, -10} {
+		r := DefaultReliability()
+		r.BaseMTBFHours = mtbf
+		if got := c.ExpectedFailuresPerYear(r); got != 0 {
+			t.Errorf("MTBF %g: expected failures %g, want 0", mtbf, got)
+		}
+		f, d := c.FailureSim(r, 50, 7)
+		if f != 0 || d != 0 {
+			t.Errorf("MTBF %g: sim reported %d failures, %g h", mtbf, f, d)
+		}
+	}
+	// An absurdly cold baseline drives the multiplier toward +Inf and
+	// the per-node MTBF toward 0 — same guard, different route.
+	r := DefaultReliability()
+	r.BaseTempC = -1e7
+	if f, d := c.FailureSim(r, 50, 7); f != 0 || d != 0 {
+		t.Errorf("divergent multiplier: sim reported %d failures, %g h", f, d)
+	}
+	if got := c.Availability(DefaultReliability()); math.IsNaN(got) {
+		t.Error("availability NaN")
+	}
+}
+
 func TestChassisOverheadCounted(t *testing.T) {
 	with, _ := New("x", NodeTM5600, BladePackaging(), 24, 24)
 	packNo := BladePackaging()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cpu"
+	"repro/internal/designopt"
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/nbody"
@@ -34,6 +35,7 @@ func init() {
 	RegisterSpec("naskernels", func() ExperimentSpec { return &NASKernelsSpec{} })
 	RegisterSpec("nbody", func() ExperimentSpec { return &NBodySpec{} })
 	RegisterSpec("tco", func() ExperimentSpec { return &TCOSpec{} })
+	RegisterSpec("topperopt", func() ExperimentSpec { return &TopperOptSpec{} })
 }
 
 // EngineSpec is the force-engine selection shared by the treecode
@@ -994,4 +996,197 @@ func (s *TCOSpec) Run(r *Run) (*SpecResult, error) {
 	snap.SetGauge("topper.perf_power", "Gflop/kW", "performance per kilowatt", tco.PerfPerPower(s.Gflops, cl.TotalPowerKW()))
 	fmt.Fprintf(&text, "%s\n", snap.Table("Cost of ownership and density ("+cl.Name+")", "topper."))
 	return &SpecResult{Kind: "tco", Text: text.String(), Data: b}, nil
+}
+
+// --- topperopt ---
+
+// TopperOptSpec runs the ToPPeR design-space optimizer: a deterministic
+// parallel sweep over CPU model × packaging × fabric/topology × node
+// count × machine-room ambient, each candidate priced through the
+// cluster → tco models with its parallel efficiency solved on the
+// candidate fabric, emitting the Pareto frontier for ToPPeR, perf/watt
+// and perf/space. Empty axes take the product defaults (the five
+// Table 1 CPUs, both packagings, Fast and Gigabit Ethernet). Workers,
+// NoMemo and NoPrune change only how fast the frontier is found, never
+// its contents — the frontier is bit-identical at any worker count,
+// which is what makes the spec safely cacheable by hash.
+type TopperOptSpec struct {
+	// CPUs, Packs and Fabrics are axis names resolved by the designopt
+	// parsers: CPUs from Table 1 ("PIII", "Alpha", "TM5600", "Power3",
+	// "Athlon"), Packs "traditional"/"blade", Fabrics base[-topology]
+	// ("fe", "ge", "ge-fattree", ...).
+	CPUs    []string `json:"cpus,omitempty"`
+	Packs   []string `json:"packs,omitempty"`
+	Fabrics []string `json:"fabrics,omitempty"`
+	// Nodes and Ambients are the numeric axes.
+	Nodes    []int     `json:"nodes,omitempty"`
+	Ambients []float64 `json:"ambients,omitempty"`
+	// Particles sizes the treecode workload the designs are scored on.
+	Particles int `json:"particles,omitempty"`
+	// Budget caps (0 = uncapped): total power, floor space, TCO.
+	MaxPowerKW   float64 `json:"max_power_kw,omitempty"`
+	MaxSpaceSqFt float64 `json:"max_space_sqft,omitempty"`
+	MaxTCOUSD    float64 `json:"max_tco_usd,omitempty"`
+	// Years and KWh adjust the paper cost rates; KWh is a pointer so an
+	// explicit zero (free electricity) survives, like TCOSpec.KWh.
+	Years float64  `json:"years,omitempty"`
+	KWh   *float64 `json:"kwh,omitempty"`
+	// Workers sizes the search pool (0 = process default); NoMemo and
+	// NoPrune disable the two accelerations, for cross-checking.
+	Workers int  `json:"workers,omitempty"`
+	NoMemo  bool `json:"no_memo,omitempty"`
+	NoPrune bool `json:"no_prune,omitempty"`
+}
+
+func (*TopperOptSpec) Kind() string { return "topperopt" }
+
+func (s *TopperOptSpec) Normalize() {
+	if len(s.CPUs) == 0 {
+		for _, c := range designopt.DefaultCPUChoices() {
+			s.CPUs = append(s.CPUs, c.Name)
+		}
+	}
+	if len(s.Packs) == 0 {
+		for _, p := range designopt.DefaultPackChoices() {
+			s.Packs = append(s.Packs, p.Name)
+		}
+	}
+	if len(s.Fabrics) == 0 {
+		for _, f := range designopt.DefaultFabricChoices() {
+			s.Fabrics = append(s.Fabrics, f.Name)
+		}
+	}
+	d := designopt.DefaultGrid()
+	if len(s.Nodes) == 0 {
+		s.Nodes = d.Nodes
+	}
+	if len(s.Ambients) == 0 {
+		s.Ambients = d.Ambients
+	}
+	if s.Particles == 0 {
+		s.Particles = d.Workload.Particles
+	}
+	if s.Years == 0 {
+		s.Years = 4
+	}
+	if s.KWh == nil {
+		v := 0.10
+		s.KWh = &v
+	}
+}
+
+func (s *TopperOptSpec) Validate() error {
+	if _, err := s.grid(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// grid resolves the spec's axis names into a designopt.Grid.
+func (s *TopperOptSpec) grid() (*designopt.Grid, error) {
+	g := &designopt.Grid{
+		Nodes:    s.Nodes,
+		Ambients: s.Ambients,
+		Budget: designopt.Budget{
+			MaxPowerKW:   s.MaxPowerKW,
+			MaxSpaceSqFt: s.MaxSpaceSqFt,
+			MaxTCOUSD:    s.MaxTCOUSD,
+		},
+		Workload: designopt.TreecodeWorkload(s.Particles),
+		Rates:    tco.PaperRates(),
+		Rel:      cluster.DefaultReliability(),
+	}
+	g.Rates.Years = s.Years
+	if s.KWh != nil {
+		g.Rates.ElectricityPerKWh = *s.KWh
+	}
+	for _, name := range s.CPUs {
+		c, err := designopt.ParseCPU(name)
+		if err != nil {
+			return nil, err
+		}
+		g.CPUs = append(g.CPUs, c)
+	}
+	for _, name := range s.Packs {
+		p, err := designopt.ParsePack(name)
+		if err != nil {
+			return nil, err
+		}
+		g.Packs = append(g.Packs, p)
+	}
+	for _, name := range s.Fabrics {
+		f, err := designopt.ParseFabric(name)
+		if err != nil {
+			return nil, err
+		}
+		g.Fabrics = append(g.Fabrics, f)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// TopperOptResult is the structured payload of a topperopt run.
+type TopperOptResult struct {
+	Candidates int               `json:"candidates"`
+	Evaluated  int               `json:"evaluated"`
+	Pruned     int               `json:"pruned"`
+	Feasible   int               `json:"feasible"`
+	MemoHits   uint64            `json:"memo_hits"`
+	MemoMisses uint64            `json:"memo_misses"`
+	Frontier   []designopt.Point `json:"frontier"`
+}
+
+func (s *TopperOptSpec) Run(r *Run) (*SpecResult, error) {
+	g, err := s.grid()
+	if err != nil {
+		return nil, err
+	}
+	res, err := designopt.Optimize(g, designopt.Options{
+		Workers: s.Workers,
+		NoMemo:  s.NoMemo,
+		NoPrune: s.NoPrune,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	snap := r.Snap
+	snap.AddCounter("designopt.memo.hit", "lookups", "memoized network-solve cache hits", res.MemoHits)
+	snap.AddCounter("designopt.memo.miss", "lookups", "network solves actually computed", res.MemoMisses)
+	snap.AddCounter("designopt.pruned", "candidates", "candidates skipped by slab dominance bounds", uint64(res.Pruned))
+	snap.AddCounter("designopt.evaluated", "candidates", "candidates scored by the evaluator", uint64(res.Evaluated))
+	snap.SetGauge("designopt.frontier", "designs", "Pareto-frontier size", float64(len(res.Frontier)))
+
+	var text strings.Builder
+	fmt.Fprintf(&text, "Design space: %d candidates (%d cpus × %d packs × %d fabrics × %d node counts × %d ambients)\n",
+		res.Candidates, len(g.CPUs), len(g.Packs), len(g.Fabrics), len(g.Nodes), len(g.Ambients))
+	fmt.Fprintf(&text, "Workload: %s; rates: %.0f-year lifetime, $%.2f/kWh\n",
+		g.Workload.Name, g.Rates.Years, g.Rates.ElectricityPerKWh)
+	fmt.Fprintf(&text, "Evaluated %d, pruned %d (%d of %d slabs), %d feasible; memo %d hits / %d misses\n\n",
+		res.Evaluated, res.Pruned, res.SlabsPruned, res.Slabs, res.Feasible, res.MemoHits, res.MemoMisses)
+	fmt.Fprintf(&text, "Pareto frontier (%d designs; ToPPeR ↓, perf/watt ↑, perf/space ↑):\n", len(res.Frontier))
+	fmt.Fprintf(&text, "%-8s %-12s %-12s %6s %6s %7s %9s %12s %10s %10s %11s\n",
+		"CPU", "packaging", "fabric", "nodes", "amb°C", "eff", "Gflops", "TCO $", "$/Mflops", "Gflops/kW", "Mflops/ft²")
+	for i := range res.Frontier {
+		pt := &res.Frontier[i]
+		fmt.Fprintf(&text, "%-8s %-12s %-12s %6d %6.0f %7.3f %9.2f %12.0f %10.2f %10.2f %11.1f\n",
+			pt.CPU, pt.Pack, pt.Fabric, pt.Nodes, pt.AmbientC, pt.Eff, pt.Gflops,
+			pt.Breakdown.TCO(), pt.ToPPeR, pt.PerfPerWatt, pt.PerfPerSpace)
+	}
+
+	return &SpecResult{
+		Kind: "topperopt",
+		Text: text.String(),
+		Data: TopperOptResult{
+			Candidates: res.Candidates,
+			Evaluated:  res.Evaluated,
+			Pruned:     res.Pruned,
+			Feasible:   res.Feasible,
+			MemoHits:   res.MemoHits,
+			MemoMisses: res.MemoMisses,
+			Frontier:   res.Frontier,
+		},
+	}, nil
 }
