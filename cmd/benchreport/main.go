@@ -4,10 +4,12 @@
 // gravity microkernel, a treecode force step, the MPI substrate's
 // allreduce hot path (pooled against the unpooled baseline), the
 // parallel rank-sweep harness (serial against concurrent against the
-// event scheduler) and the large-p event core (a p=4096 EP world
-// against the goroutine scheduler's extrapolated footprint).
+// event scheduler), the large-p event core (a p=4096 EP world against
+// the goroutine scheduler's extrapolated footprint) and the persistent
+// tree maintainer (incremental re-sort + octant patching against a
+// fresh build every step).
 //
-//	benchreport -out BENCH_pr9.json            # write the report
+//	benchreport -out BENCH_pr10.json           # write the report
 //	benchreport -guard                         # fail on in-run regressions
 //	benchreport -compare old.json              # fail on >10% ns/op slowdown
 //
@@ -60,7 +62,7 @@ const slowdownTolerance = 1.10
 func main() {
 	out := flag.String("out", "", "write the report as JSON to this `path`")
 	guard := flag.Bool("guard", false, "fail on in-run regressions (gears must not raise simulated cycles; parallel must not run >10% slower than serial)")
-	compare := flag.String("compare", "", "compare against a previous report at this `path`; fail on >10% host slowdown of hostparallel benchmarks")
+	compare := flag.String("compare", "", "compare against a previous report at this `path`; fail on >10% host slowdown of guarded benchmarks")
 	flag.Parse()
 
 	rep := Report{
@@ -71,6 +73,7 @@ func main() {
 	rep.Results = append(rep.Results, gravMicroEntries()...)
 	rep.Results = append(rep.Results, treecodeStepEntry())
 	rep.Results = append(rep.Results, treecodeStepExactEntry())
+	rep.Results = append(rep.Results, treecodeReuseEntries()...)
 	rep.Results = append(rep.Results, forceEngineEntries()...)
 	rep.Results = append(rep.Results, blockStepEntries()...)
 	rep.Results = append(rep.Results, hostParallelEntries()...)
@@ -98,7 +101,7 @@ func main() {
 	}
 	if *compare != "" {
 		check(compareReports(*compare, &rep))
-		fmt.Printf("compare: no hostparallel/mpi/serve/designopt benchmark slowed down >%.0f%% vs %s\n",
+		fmt.Printf("compare: no hostparallel/mpi/serve/designopt/treecode-reuse benchmark slowed down >%.0f%% vs %s\n",
 			(slowdownTolerance-1)*100, *compare)
 	}
 }
@@ -150,7 +153,7 @@ func gravMicroEntries() []Entry {
 func treecodeStepEntry() Entry {
 	const n = 20000
 	sys := nbody.NewPlummer(n, 1, 2001)
-	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0)}
+	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Reuse: treecode.ReuseOff}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -192,7 +195,8 @@ func treecodeStepExactEntry() Entry {
 	const n = 20000
 	sys := nbody.NewPlummer(n, 1, 2001)
 	sys.Eps = blockStepEps
-	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Engine: treecode.EngineList}
+	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Engine: treecode.EngineList,
+		Reuse: treecode.ReuseOff}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -204,6 +208,138 @@ func treecodeStepExactEntry() Entry {
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+}
+
+// treecodeReuseEntries prices the persistent tree maintainer (PR 10).
+// The head-to-head pair isolates the structural work a step really
+// pays: treecode/reuse/maintain drifts the system by one leapfrog kick
+// and maintains the warm TreeCache (adaptive re-sort + octant
+// patching, zero steady-state allocations), while maintain-fresh pays
+// a full Build for the identical drift sequence. Both run single
+// worker so the ratio measures the algorithm, not the pool. The
+// reuse/step and reuse/blockstep entries then measure the end-to-end
+// integrator paths with reuse on, guarded against the ReuseOff
+// baselines recorded by treecodeStepEntry and blockStepEntries:
+// maintained trees are bit-identical, so neither may ever cost more
+// than noise — force sweeps dominate both paths, so the build savings
+// show up as a bounded win, largest on the build-heavy block
+// hierarchy.
+func treecodeReuseEntries() []Entry {
+	const (
+		n  = 20000
+		dt = 0.005
+	)
+	drift := func(s *nbody.System) {
+		for i := 0; i < s.N(); i++ {
+			s.X[i] += dt * s.VX[i]
+			s.Y[i] += dt * s.VY[i]
+			s.Z[i] += dt * s.VZ[i]
+		}
+	}
+
+	msys := nbody.NewPlummer(n, 1, 2001)
+	cache := treecode.NewTreeCache()
+	opt := treecode.BuildOptions{Workers: 1}
+	srcs := treecode.SourcesFromSystem(msys)
+	_, err := cache.Step(srcs, opt)
+	check(err)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drift(msys)
+			srcs = treecode.AppendSources(srcs[:0], msys)
+			if _, err := cache.Step(srcs, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st := cache.Stats
+	out := []Entry{{
+		Name:        fmt.Sprintf("treecode/reuse/maintain/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics: map[string]float64{
+			"nodes_reused":     float64(st.NodesReused),
+			"subtrees_rebuilt": float64(st.SubtreesRebuilt),
+			"keys_moved":       float64(st.KeysMoved),
+			"maintained_steps": float64(st.Steps - st.FullBuilds),
+			"full_builds":      float64(st.FullBuilds),
+		},
+	}}
+
+	fsys := nbody.NewPlummer(n, 1, 2001)
+	fsrcs := treecode.SourcesFromSystem(fsys)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drift(fsys)
+			fsrcs = treecode.AppendSources(fsrcs[:0], fsys)
+			_, err := treecode.Build(fsrcs, opt)
+			check2(b, err)
+		}
+	})
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("treecode/reuse/maintain-fresh/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+
+	// End-to-end force step with the maintainer on, plus an exact
+	// bit-identity probe against the fresh-build path: a short leapfrog
+	// either way must produce the same accelerations bit for bit.
+	ssys := nbody.NewPlummer(n, 1, 2001)
+	sf := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Reuse: treecode.ReuseOn}
+	check(sf.Forces(ssys)) // warm the cache and walk index
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drift(ssys)
+			check2(b, sf.Forces(ssys))
+		}
+	})
+	identical := 1.0
+	a := nbody.NewPlummer(4096, 1, 7)
+	bsys := nbody.NewPlummer(4096, 1, 7)
+	check(a.Leapfrog(&treecode.Forcer{Theta: 0.7, Reuse: treecode.ReuseOn}, dt, 4))
+	check(bsys.Leapfrog(&treecode.Forcer{Theta: 0.7, Reuse: treecode.ReuseOff}, dt, 4))
+	for i := 0; i < a.N(); i++ {
+		if math.Float64bits(a.AX[i]) != math.Float64bits(bsys.AX[i]) ||
+			math.Float64bits(a.X[i]) != math.Float64bits(bsys.X[i]) {
+			identical = 0
+		}
+	}
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("treecode/reuse/step/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     map[string]float64{"bit_identical": identical},
+	})
+
+	// The block hierarchy re-evaluates forces once per occupied rung
+	// tick, each previously paying a redundant build — the build-heavy
+	// regime the maintainer was built for. Same system, config and
+	// per-op step count as treecode/blockstep/n=20000.
+	bsys2 := nbody.NewPlummer(n, 1, 2001)
+	bsys2.Eps = blockStepEps
+	bf := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Reuse: treecode.ReuseOn}
+	var bs nbody.BlockStepper
+	cfg := nbody.BlockConfig{DT: 0.02, MaxRung: 6}
+	const stepsPerOp = 2
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			check2(b, bs.Run(bsys2, bf, cfg, stepsPerOp))
+		}
+	})
+	out = append(out, Entry{
+		Name:        fmt.Sprintf("treecode/reuse/blockstep/n=%d", n),
+		NsPerOp:     float64(r.NsPerOp()) / stepsPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics: map[string]float64{
+			"max_rung_used": float64(bs.Stats.MaxRungUsed),
+		},
+	})
+	return out
 }
 
 // blockStepEps is the softening of the block-timestep benchmark
@@ -227,7 +363,7 @@ func blockStepEntries() []Entry {
 	)
 	sys := nbody.NewPlummer(n, 1, 2001)
 	sys.Eps = blockStepEps
-	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0)}
+	f := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Reuse: treecode.ReuseOff}
 	var bs nbody.BlockStepper
 	cfg := nbody.BlockConfig{DT: 0.02, MaxRung: 6}
 	r := testing.Benchmark(func(b *testing.B) {
@@ -251,7 +387,7 @@ func blockStepEntries() []Entry {
 	es := nbody.NewPlummer(4096, 1, 2001)
 	k0, p0 := es.Energy()
 	var eb nbody.BlockStepper
-	ef := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0)}
+	ef := &treecode.Forcer{Theta: 0.7, Workers: runtime.GOMAXPROCS(0), Reuse: treecode.ReuseOff}
 	t0 := time.Now()
 	check(eb.Run(es, ef, nbody.BlockConfig{DT: 0.01, MaxRung: 4}, 100))
 	wall := time.Since(t0)
@@ -420,7 +556,7 @@ func hostParallelEntries() []Entry {
 			AllocsPerOp: r.AllocsPerOp(),
 		})
 		fsys := nbody.NewPlummer(n, 1, 2001)
-		f := &treecode.Forcer{Theta: 0.7, Workers: wkr}
+		f := &treecode.Forcer{Theta: 0.7, Workers: wkr, Reuse: treecode.ReuseOff}
 		r = testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -863,6 +999,50 @@ func guardReport(rep *Report) error {
 		return fmt.Errorf("guard: dual+block engine only %.2fx the exact uniform baseline (want ≥3x): %.0f ns × %g ticks vs %.0f ns per base step",
 			combined, exact.NsPerOp, ticks, blk.NsPerOp)
 	}
+	// The tree maintainer's bars. Structural head-to-head, single
+	// worker, identical drift sequences: maintaining the warm cache must
+	// beat a fresh build at least 1.3x (measured ~2.8x — the sort and
+	// node partitioning are what a step's tiny drift lets it skip), and
+	// the steady state must not allocate (exact — the arena,
+	// permutation and scratch buffers are all retained across steps).
+	// End to end, a maintained tree is bit-identical to a fresh one, so
+	// neither the reuse force step nor the reuse block hierarchy may
+	// ever run slower than its fresh-build twin beyond noise — force
+	// sweeps dominate both end-to-end paths, so the build savings
+	// surface as a bounded win (~5% on the uniform step, ~15% on the
+	// build-heavier block hierarchy), not a ratio worth pinning on a
+	// shared host. The bit_identical metric is exact: a short leapfrog
+	// with the maintainer on must reproduce the fresh path bit for bit.
+	maintain := find(rep, "treecode/reuse/maintain/n=20000")
+	maintainFresh := find(rep, "treecode/reuse/maintain-fresh/n=20000")
+	reuseStep := find(rep, "treecode/reuse/step/n=20000")
+	reuseBlk := find(rep, "treecode/reuse/blockstep/n=20000")
+	if maintain == nil || maintainFresh == nil || reuseStep == nil || reuseBlk == nil {
+		return fmt.Errorf("guard: missing treecode/reuse entries")
+	}
+	if maintainFresh.NsPerOp < 1.3*maintain.NsPerOp {
+		return fmt.Errorf("guard: tree maintenance only %.2fx a fresh build (want ≥1.3x): %.0f vs %.0f ns/op",
+			maintainFresh.NsPerOp/maintain.NsPerOp, maintain.NsPerOp, maintainFresh.NsPerOp)
+	}
+	if maintain.AllocsPerOp != 0 {
+		return fmt.Errorf("guard: steady-state tree maintenance allocates: %d allocs/op, want 0",
+			maintain.AllocsPerOp)
+	}
+	if reuseStep.Metrics["bit_identical"] != 1 {
+		return fmt.Errorf("guard: reused trees are not bit-identical to fresh builds over a leapfrog")
+	}
+	stepEntry := find(rep, "treecode/step/n=20000")
+	if stepEntry == nil {
+		return fmt.Errorf("guard: missing treecode/step entry")
+	}
+	if reuseStep.NsPerOp > stepEntry.NsPerOp*slowdownTolerance {
+		return fmt.Errorf("guard: reuse force step is >%.0f%% slower than the fresh-build step: %.0f vs %.0f ns/op",
+			(slowdownTolerance-1)*100, reuseStep.NsPerOp, stepEntry.NsPerOp)
+	}
+	if reuseBlk.NsPerOp > blk.NsPerOp*slowdownTolerance {
+		return fmt.Errorf("guard: reuse blockstep is >%.0f%% slower than the fresh-build blockstep: %.0f vs %.0f ns per base step",
+			(slowdownTolerance-1)*100, reuseBlk.NsPerOp, blk.NsPerOp)
+	}
 	// Accuracy side of the same bargain: the hierarchy must not trade
 	// away energy conservation.
 	energy := find(rep, "treecode/blockstep/energy/n=4096")
@@ -999,13 +1179,14 @@ func guardReport(rep *Report) error {
 }
 
 // compareReports is the benchstat-style step: every hostparallel, mpi,
-// serve (gateway) and designopt (design-space optimizer) benchmark in
-// the baseline must exist in the current report and must not have
-// slowed down >10%. A guarded baseline entry missing from the new
-// report is an error, not a skip — in particular a gateway baseline
-// entry that gridload stopped emitting, or an optimizer entry that
-// benchreport stopped emitting, fails here loudly. Only meaningful
-// when both reports come from the same machine.
+// serve (gateway), designopt (design-space optimizer) and
+// treecode/reuse (tree maintainer) benchmark in the baseline must
+// exist in the current report and must not have slowed down >10%. A
+// guarded baseline entry missing from the new report is an error, not
+// a skip — in particular a gateway baseline entry that gridload
+// stopped emitting, or a maintainer entry that benchreport stopped
+// emitting, fails here loudly. Only meaningful when both reports come
+// from the same machine.
 func compareReports(oldPath string, cur *Report) error {
 	old, err := benchfmt.Read(oldPath)
 	if err != nil {
@@ -1015,7 +1196,8 @@ func compareReports(oldPath string, cur *Report) error {
 	for i := range old.Results {
 		o := &old.Results[i]
 		if !strings.HasPrefix(o.Name, "hostparallel/") && !strings.HasPrefix(o.Name, "mpi/") &&
-			!strings.HasPrefix(o.Name, "serve/") && !strings.HasPrefix(o.Name, "designopt/") {
+			!strings.HasPrefix(o.Name, "serve/") && !strings.HasPrefix(o.Name, "designopt/") &&
+			!strings.HasPrefix(o.Name, "treecode/reuse/") {
 			continue
 		}
 		n := find(cur, o.Name)

@@ -48,13 +48,30 @@ func TestCompareFailsOnMissingDesignoptEntry(t *testing.T) {
 	}
 }
 
+// TestCompareFailsOnMissingReuseEntry: the tree maintainer's benchmarks
+// are policed too — a treecode/reuse/ baseline entry missing from the
+// current report fails loudly.
+func TestCompareFailsOnMissingReuseEntry(t *testing.T) {
+	path := writeBaseline(t, []Entry{
+		{Name: "treecode/reuse/maintain/n=20000", NsPerOp: 100},
+		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
+	})
+	cur := &Report{Results: []Entry{{Name: "mpi/allreduce/pooled", NsPerOp: 100}}}
+	err := compareReports(path, cur)
+	if err == nil || !strings.Contains(err.Error(), "treecode/reuse/maintain/n=20000") {
+		t.Fatalf("missing tree-maintainer baseline entry not reported: %v", err)
+	}
+}
+
 func TestCompareGuardsAllPolicedPrefixes(t *testing.T) {
 	base := []Entry{
 		{Name: "hostparallel/treebuild/workers=1", NsPerOp: 100},
 		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
 		{Name: "serve/submit/cached", NsPerOp: 100},
 		{Name: "designopt/sweep/default", NsPerOp: 100},
-		{Name: "gravmicro/unguarded", NsPerOp: 100}, // not policed
+		{Name: "treecode/reuse/maintain/n=20000", NsPerOp: 100},
+		{Name: "gravmicro/unguarded", NsPerOp: 100},   // not policed
+		{Name: "treecode/step/n=20000", NsPerOp: 100}, // fresh-build entries stay unpoliced
 	}
 	path := writeBaseline(t, base)
 
@@ -63,12 +80,13 @@ func TestCompareGuardsAllPolicedPrefixes(t *testing.T) {
 		{Name: "mpi/allreduce/pooled", NsPerOp: 100},
 		{Name: "serve/submit/cached", NsPerOp: 109},
 		{Name: "designopt/sweep/default", NsPerOp: 102},
+		{Name: "treecode/reuse/maintain/n=20000", NsPerOp: 104},
 	}}
 	if err := compareReports(path, ok); err != nil {
 		t.Fatalf("within-tolerance report failed: %v", err)
 	}
 
-	for _, name := range []string{"hostparallel/treebuild/workers=1", "mpi/allreduce/pooled", "serve/submit/cached", "designopt/sweep/default"} {
+	for _, name := range []string{"hostparallel/treebuild/workers=1", "mpi/allreduce/pooled", "serve/submit/cached", "designopt/sweep/default", "treecode/reuse/maintain/n=20000"} {
 		cur := &Report{Results: make([]Entry, len(ok.Results))}
 		copy(cur.Results, ok.Results)
 		slow := cur.Find(name)

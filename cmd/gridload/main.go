@@ -6,7 +6,7 @@
 // Usage:
 //
 //	gridload                               # in-process load test
-//	gridload -merge BENCH_pr9.json -guard  # merge entries + regression gate
+//	gridload -merge BENCH_pr10.json -guard # merge entries + regression gate
 //	gridload -target http://:8440 -smoke   # CI smoke: submit, resubmit,
 //	                                       # assert the hit is bit-identical
 //

@@ -6,6 +6,7 @@
 //
 //	nbodysim -n 20000 -steps 20 -theta 0.7
 //	nbodysim -n 2000 -direct -steps 10
+//	nbodysim -n 20000 -ic twocluster -steps 20
 //	nbodysim -n 20000 -rungs 4 -steps 20
 //	nbodysim -n 30000 -ranks 24 -render out.pgm
 //	nbodysim -n 10000 -ranks 8 -obs-json obs.json -trace run.trace
@@ -40,6 +41,7 @@ func main() {
 	ascii := flag.Bool("ascii", false, "print an ASCII density rendering")
 	rungs := flag.Int("rungs", 0, "hierarchical block-timestep rungs (0 = uniform leapfrog; finest step is dt/2^rungs)")
 	eta := flag.Float64("eta", 0, "block-timestep accuracy parameter (0 = default)")
+	ic := flag.String("ic", "plummer", "initial conditions: plummer, colddisk, or twocluster")
 	flag.Parse()
 	d.Check(d.Setup())
 
@@ -53,6 +55,7 @@ func main() {
 		Ranks:      *ranks,
 		Rungs:      *rungs,
 		Eta:        *eta,
+		IC:         *ic,
 		EngineSpec: d.SpecEngine(),
 	})
 	d.Check(err)

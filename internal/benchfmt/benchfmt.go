@@ -1,5 +1,5 @@
 // Package benchfmt is the shared schema of the repository's benchmark
-// reports (BENCH_pr9.json): cmd/benchreport writes the simulator and
+// reports (BENCH_pr10.json): cmd/benchreport writes the simulator and
 // host benchmarks, cmd/gridload merges the gateway's load-test numbers
 // into the same file, and CI guards both.
 package benchfmt
@@ -11,7 +11,7 @@ import (
 )
 
 // Schema is the current report schema tag.
-const Schema = "bench_pr9_v1"
+const Schema = "bench_pr10_v1"
 
 // Entry is one benchmark result.
 type Entry struct {
@@ -21,7 +21,7 @@ type Entry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the BENCH_pr9.json envelope.
+// Report is the BENCH_pr10.json envelope.
 type Report struct {
 	Schema     string  `json:"schema"`
 	GoVersion  string  `json:"go_version"`

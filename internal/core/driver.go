@@ -49,6 +49,10 @@ type Driver struct {
 	ErrorBudget float64
 	GroupWalk   bool
 	Engine      treecode.Engine
+	// TreeReuseName mirrors -tree-reuse; TreeReuse is the parsed mode,
+	// valid after Setup.
+	TreeReuseName string
+	TreeReuse     treecode.ReuseMode
 
 	// Run carries the snapshot and tracer every experiment records into;
 	// valid after Setup.
@@ -78,6 +82,7 @@ func (d *Driver) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&d.EngineName, "engine", "auto", "treecode force `engine`: auto, list, recursive, group, or dual")
 	fs.Float64Var(&d.ErrorBudget, "error-budget", treecode.DefaultErrorBudget, "force-error budget for -engine auto, in units of the exact walk's own RMS error (< 1 pins the bit-exact list engine)")
 	fs.BoolVar(&d.GroupWalk, "groupwalk", false, "deprecated alias for -engine group")
+	fs.StringVar(&d.TreeReuseName, "tree-reuse", "auto", "incremental tree maintenance across steps: auto, on, or off (auto maintains the tree; results are bit-identical either way)")
 }
 
 // Setup validates the flags, applies -procs, and creates the Run (with a
@@ -105,6 +110,11 @@ func (d *Driver) Setup() error {
 		})
 	}
 	d.Engine = treecode.ResolveEngine(engine, d.ErrorBudget)
+	reuse, err := treecode.ParseReuseMode(d.TreeReuseName)
+	if err != nil {
+		return fmt.Errorf("%s: %w", d.Name, err)
+	}
+	d.TreeReuse = reuse
 	if d.Gears {
 		cpu.SetGears(true)
 	}
@@ -113,6 +123,7 @@ func (d *Driver) Setup() error {
 	d.Run.Snap.SetMeta("args", strings.Join(os.Args[1:], " "))
 	d.Run.Snap.SetMeta("workers", fmt.Sprintf("%d", par.Workers()))
 	d.Run.Snap.SetMeta("engine", d.Engine.String())
+	d.Run.Snap.SetMeta("tree_reuse", d.TreeReuse.String())
 	if d.TracePath != "" {
 		t := obs.NewTracer()
 		t.NameProcess(obs.PidHost, "host (wall clock)")
@@ -172,7 +183,8 @@ var groupWalkWarnOnce sync.Once
 // deprecated -groupwalk alias and the error budget exactly as Setup
 // does, so CLI and HTTP submissions of the same selection hash alike.
 func (d *Driver) SpecEngine() EngineSpec {
-	return EngineSpec{Engine: d.EngineName, ErrorBudget: d.ErrorBudget, GroupWalk: d.GroupWalk}
+	return EngineSpec{Engine: d.EngineName, ErrorBudget: d.ErrorBudget, GroupWalk: d.GroupWalk,
+		TreeReuse: d.TreeReuseName}
 }
 
 // RunSpec canonicalizes, validates and executes a spec on the driver's

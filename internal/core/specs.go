@@ -47,6 +47,12 @@ type EngineSpec struct {
 	Engine      string  `json:"engine,omitempty"`
 	ErrorBudget float64 `json:"error_budget,omitempty"`
 	GroupWalk   bool    `json:"groupwalk,omitempty"`
+	// TreeReuse selects incremental tree maintenance across steps
+	// ("auto", "on", "off"; see treecode.TreeCache). Normalize folds
+	// the default "auto" to the empty string — like FabricModeSpec's
+	// "star" — so specs that omit the field keep their historical
+	// hashes.
+	TreeReuse string `json:"tree_reuse,omitempty"`
 }
 
 func (e *EngineSpec) normalize() {
@@ -62,6 +68,10 @@ func (e *EngineSpec) normalize() {
 	if e.ErrorBudget == 0 {
 		e.ErrorBudget = treecode.DefaultErrorBudget
 	}
+	e.TreeReuse = strings.ToLower(e.TreeReuse)
+	if e.TreeReuse == "auto" {
+		e.TreeReuse = ""
+	}
 }
 
 func (e *EngineSpec) validate() error {
@@ -71,7 +81,19 @@ func (e *EngineSpec) validate() error {
 	if e.ErrorBudget < 0 {
 		return fmt.Errorf("negative error_budget %g", e.ErrorBudget)
 	}
+	if _, err := treecode.ParseReuseMode(e.TreeReuse); err != nil {
+		return err
+	}
 	return nil
+}
+
+// resolveReuse returns the concrete reuse mode the spec selects.
+func (e *EngineSpec) resolveReuse() treecode.ReuseMode {
+	m, err := treecode.ParseReuseMode(e.TreeReuse)
+	if err != nil {
+		return treecode.ReuseAuto
+	}
+	return m
 }
 
 // resolve returns the concrete engine the spec selects, mirroring the
@@ -705,6 +727,10 @@ type NBodySpec struct {
 	Ranks      int     `json:"ranks,omitempty"`
 	Rungs      int     `json:"rungs,omitempty"`
 	Eta        float64 `json:"eta,omitempty"`
+	// IC names the initial-condition preset: "plummer" (default),
+	// "colddisk" or "twocluster". Normalize folds the default spelling
+	// to the empty string so historical spec hashes are unchanged.
+	IC string `json:"ic,omitempty"`
 	EngineSpec
 }
 
@@ -723,12 +749,33 @@ func (s *NBodySpec) Normalize() {
 	if s.Theta == 0 {
 		s.Theta = 0.7
 	}
+	s.IC = strings.ToLower(s.IC)
+	if s.IC == "plummer" {
+		s.IC = ""
+	}
 	s.EngineSpec.normalize()
+}
+
+// nbodyIC maps a normalized preset name to its generator (the empty
+// string is the historical Plummer default, seed 2001).
+func nbodyIC(name string) (func(n int, seed uint64) *nbody.System, error) {
+	switch name {
+	case "", "plummer":
+		return func(n int, seed uint64) *nbody.System { return nbody.NewPlummer(n, 1, seed) }, nil
+	case "colddisk":
+		return nbody.NewColdDisk, nil
+	case "twocluster":
+		return nbody.NewTwoCluster, nil
+	}
+	return nil, fmt.Errorf("unknown ic %q (want plummer, colddisk or twocluster)", name)
 }
 
 func (s *NBodySpec) Validate() error {
 	if s.N <= 0 {
 		return fmt.Errorf("n %d", s.N)
+	}
+	if _, err := nbodyIC(s.IC); err != nil {
+		return err
 	}
 	if s.Steps < 0 {
 		return fmt.Errorf("steps %d", s.Steps)
@@ -761,7 +808,14 @@ type NBodyData struct {
 func (s *NBodySpec) Run(r *Run) (*SpecResult, error) {
 	snap := r.Snap
 	var b strings.Builder
-	sys := nbody.NewPlummer(s.N, 1, 2001)
+	mkIC, err := nbodyIC(s.IC)
+	if err != nil {
+		return nil, err
+	}
+	sys := mkIC(s.N, 2001)
+	if s.IC != "" {
+		fmt.Fprintf(&b, "initial conditions: %s\n", s.IC)
+	}
 	k0, p0 := 0.0, 0.0
 	if s.N <= 20000 {
 		k0, p0 = sys.Energy()
@@ -787,7 +841,7 @@ func (s *NBodySpec) Run(r *Run) (*SpecResult, error) {
 		}}
 	default:
 		forcer = &treecode.Forcer{Theta: s.Theta, Quadrupole: s.Quadrupole, Tracer: r.Tracer,
-			Engine: engine}
+			Engine: engine, Reuse: s.resolveReuse()}
 	}
 
 	data := NBodyData{Particles: s.N, Steps: s.Steps}

@@ -1,0 +1,105 @@
+package nbody
+
+// Named initial-condition presets beyond the Plummer sphere (ROADMAP
+// item 4's leftover half): a cold rotating disk and a two-cluster
+// merger, the scenarios the paper-era treecode runs exercised beyond
+// isolated spheres. All presets are deterministic in the seed, use
+// total mass 1 and G = 1 (the repo's N-body units), and zero the bulk
+// momentum exactly so conservation checks start from a clean baseline.
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// DiskThickness is the cold disk's vertical extent (uniform slab),
+// relative to its unit radius.
+const DiskThickness = 0.05
+
+// NewColdDisk samples a cold, rotation-supported disk: uniform surface
+// density out to radius 1, thickness DiskThickness, total mass 1. Each
+// particle moves on the circular orbit of the spherically-enclosed
+// mass approximation, v²(r) = M(<r)/r with M(<r) = r² — "cold" because
+// there is no velocity dispersion on top. The bulk momentum is
+// subtracted exactly, so the disk's centre of mass stays put.
+func NewColdDisk(n int, seed uint64) *System {
+	s := NewSystem(n)
+	rng := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		// r = √u is the inverse CDF of a uniform surface density.
+		r := math.Sqrt(rng.Float64())
+		phi := 2 * math.Pi * rng.Float64()
+		sinp, cosp := math.Sin(phi), math.Cos(phi)
+		s.X[i] = r * cosp
+		s.Y[i] = r * sinp
+		s.Z[i] = DiskThickness * (rng.Float64() - 0.5)
+		v := math.Sqrt(r) // √(M(<r)/r) with M(<r)=r²
+		s.VX[i] = -v * sinp
+		s.VY[i] = v * cosp
+		s.VZ[i] = 0
+		s.M[i] = 1 / float64(n)
+	}
+	zeroMomentum(s)
+	return s
+}
+
+// NewTwoCluster builds a head-on merger: two equal Plummer spheres
+// (scale radius 0.5, mass 1/2 each, internally virial for their own
+// mass) separated by ±2 on x and approaching at ±0.1 — the standard
+// collision scenario of the production treecode runs. Total mass 1;
+// bulk momentum is exactly zero by construction and then re-zeroed
+// against rounding.
+func NewTwoCluster(n int, seed uint64) *System {
+	const (
+		a      = 0.5
+		offset = 2.0
+		vapp   = 0.1
+	)
+	n1 := n / 2
+	halves := [2]*System{NewPlummer(n1, a, seed), NewPlummer(n-n1, a, seed+1)}
+	s := NewSystem(n)
+	i := 0
+	for h, half := range halves {
+		sign := 1.0
+		if h == 1 {
+			sign = -1
+		}
+		// Each half keeps its Plummer virial structure for mass 1/2:
+		// masses scale by 1/2, internal velocities by √(1/2).
+		vs := math.Sqrt(0.5)
+		for j := 0; j < half.N(); j++ {
+			s.X[i] = half.X[j] + sign*offset
+			s.Y[i] = half.Y[j]
+			s.Z[i] = half.Z[j]
+			s.VX[i] = vs*half.VX[j] - sign*vapp
+			s.VY[i] = vs * half.VY[j]
+			s.VZ[i] = vs * half.VZ[j]
+			s.M[i] = 0.5 * half.M[j]
+			i++
+		}
+	}
+	zeroMomentum(s)
+	return s
+}
+
+// zeroMomentum subtracts the mass-weighted mean velocity so the total
+// momentum is zero to rounding.
+func zeroMomentum(s *System) {
+	var px, py, pz, mt float64
+	for i := 0; i < s.N(); i++ {
+		px += s.M[i] * s.VX[i]
+		py += s.M[i] * s.VY[i]
+		pz += s.M[i] * s.VZ[i]
+		mt += s.M[i]
+	}
+	if mt == 0 {
+		return
+	}
+	vx, vy, vz := px/mt, py/mt, pz/mt
+	for i := 0; i < s.N(); i++ {
+		s.VX[i] -= vx
+		s.VY[i] -= vy
+		s.VZ[i] -= vz
+	}
+}

@@ -223,24 +223,49 @@ func (s *System) Leapfrog(f Forcer, dt float64, steps int) error {
 	return nil
 }
 
+// energyGrain is the fixed row-chunk size of the parallel potential
+// sum. Fixed (never derived from the worker count) so chunk boundaries
+// — and therefore the floating-point fold — are a pure function of n.
+const energyGrain = 256
+
 // Energy returns kinetic and potential energy (potential by direct
 // summation with the same softening as the forces, so leapfrog
-// conservation can be checked consistently).
+// conservation can be checked consistently). The O(n²) potential runs
+// on the process-wide worker pool; see EnergyWith.
 func (s *System) Energy() (kinetic, potential float64) {
+	return s.EnergyWith(par.Default())
+}
+
+// EnergyWith is Energy over an explicit worker pool. The pair sum is
+// chunked by target row at a fixed grain, each chunk accumulates into
+// its own slot, and the slots fold serially in chunk order — so the
+// result is bit-identical at every worker width (the internal/par
+// determinism contract), though not to the retired single-accumulator
+// serial sum (a different fold shape).
+func (s *System) EnergyWith(pool *par.Pool) (kinetic, potential float64) {
 	n := s.N()
 	for i := 0; i < n; i++ {
 		v2 := s.VX[i]*s.VX[i] + s.VY[i]*s.VY[i] + s.VZ[i]*s.VZ[i]
 		kinetic += 0.5 * s.M[i] * v2
 	}
 	eps2 := s.Eps * s.Eps
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dx := s.X[j] - s.X[i]
-			dy := s.Y[j] - s.Y[i]
-			dz := s.Z[j] - s.Z[i]
-			r := math.Sqrt(dx*dx + dy*dy + dz*dz + eps2)
-			potential -= s.G * s.M[i] * s.M[j] / r
+	nc := par.NumChunks(n, energyGrain)
+	partial := make([]float64, nc)
+	pool.ForChunks(n, energyGrain, func(c, lo, hi int) {
+		var pot float64
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := s.X[j] - s.X[i]
+				dy := s.Y[j] - s.Y[i]
+				dz := s.Z[j] - s.Z[i]
+				r := math.Sqrt(dx*dx + dy*dy + dz*dz + eps2)
+				pot -= s.G * s.M[i] * s.M[j] / r
+			}
 		}
+		partial[c] = pot
+	})
+	for _, p := range partial {
+		potential += p
 	}
 	return kinetic, potential
 }

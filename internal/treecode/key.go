@@ -99,6 +99,38 @@ func BoundingBox(xs, ys, zs []float64) (Box, error) {
 	}, nil
 }
 
+// sourceBounds is BoundingBox over a source slice without the
+// coordinate-array staging: the same per-axis Min/Max fold in the same
+// input order with the same expansion, so the box — and every key and
+// node box derived from it — is bit-identical to BoundingBox's. Build
+// and the tree maintainer both use it, which is what lets a maintained
+// tree recompute the root in place, allocation-free, and still match a
+// fresh build exactly.
+func sourceBounds(sources []Source) (Box, error) {
+	if len(sources) == 0 {
+		return Box{}, fmt.Errorf("treecode: no particles")
+	}
+	xmin, xmax := sources[0].X, sources[0].X
+	ymin, ymax := sources[0].Y, sources[0].Y
+	zmin, zmax := sources[0].Z, sources[0].Z
+	for i := 1; i < len(sources); i++ {
+		xmin, xmax = math.Min(xmin, sources[i].X), math.Max(xmax, sources[i].X)
+		ymin, ymax = math.Min(ymin, sources[i].Y), math.Max(ymax, sources[i].Y)
+		zmin, zmax = math.Min(zmin, sources[i].Z), math.Max(zmax, sources[i].Z)
+	}
+	half := math.Max(xmax-xmin, math.Max(ymax-ymin, zmax-zmin)) / 2
+	if half == 0 {
+		half = 1
+	}
+	half *= 1.0001
+	return Box{
+		CX:   (xmin + xmax) / 2,
+		CY:   (ymin + ymax) / 2,
+		CZ:   (zmin + zmax) / 2,
+		Half: half,
+	}, nil
+}
+
 // MortonKey maps a position inside root to its full-depth Morton key.
 func MortonKey(x, y, z float64, root Box) Key {
 	ix := quantize(x, root.CX, root.Half)

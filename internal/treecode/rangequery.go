@@ -6,6 +6,9 @@ package treecode
 // the paper's §3.5.1 clients (smoothed particle hydrodynamics, the
 // vortex particle method) obtain from the treecode library.
 func (t *Tree) Neighbors(x, y, z, radius float64, out []int) []int {
+	if len(t.Nodes) == 0 || radius < 0 {
+		return out
+	}
 	r2 := radius * radius
 	var walk func(ni int32)
 	walk = func(ni int32) {

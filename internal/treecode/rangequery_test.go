@@ -1,0 +1,113 @@
+package treecode
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/nbody"
+)
+
+// bruteNeighbors is the O(n) reference: indices into the key-sorted
+// Sources within radius of the point.
+func bruteNeighbors(tr *Tree, x, y, z, radius float64) []int {
+	var out []int
+	r2 := radius * radius
+	for i, s := range tr.Sources {
+		dx, dy, dz := s.X-x, s.Y-y, s.Z-z
+		if dx*dx+dy*dy+dz*dz <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func requireSameIndices(t *testing.T, got, want []int, label string) {
+	t.Helper()
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbours, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: neighbour set differs at %d: %d vs %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestNeighborsMatchesBruteForce cross-checks the pruned walk against
+// direct summation over assorted centres and radii, including a query
+// sphere straddling the root boundary (centre outside the root box).
+func TestNeighborsMatchesBruteForce(t *testing.T) {
+	s := nbody.NewPlummer(1500, 1, 21)
+	tr := buildFromSystem(t, s, BuildOptions{})
+	for _, q := range []struct {
+		name    string
+		x, y, z float64
+		r       float64
+	}{
+		{"centre", 0, 0, 0, 0.3},
+		{"off-centre", 0.4, -0.2, 0.1, 0.5},
+		{"straddles-root", tr.Root.CX + tr.Root.Half, 0, 0, 0.8},
+		{"outside-root", tr.Root.CX + 2*tr.Root.Half, tr.Root.CY, tr.Root.CZ, 1.5 * tr.Root.Half},
+		{"covers-everything", 0, 0, 0, 100},
+	} {
+		got := tr.Neighbors(q.x, q.y, q.z, q.r, nil)
+		want := bruteNeighbors(tr, q.x, q.y, q.z, q.r)
+		requireSameIndices(t, got, want, q.name)
+	}
+}
+
+// TestNeighborsZeroRadius: a zero-radius query at an exact particle
+// position returns that particle (the ≤ boundary), and nothing when
+// centred between particles.
+func TestNeighborsZeroRadius(t *testing.T) {
+	s := nbody.NewPlummer(500, 1, 9)
+	tr := buildFromSystem(t, s, BuildOptions{})
+	p := tr.Sources[123]
+	got := tr.Neighbors(p.X, p.Y, p.Z, 0, nil)
+	found := false
+	for _, i := range got {
+		if i == 123 {
+			found = true
+		}
+		q := tr.Sources[i]
+		if q.X != p.X || q.Y != p.Y || q.Z != p.Z {
+			t.Fatalf("zero-radius query returned non-coincident source %d", i)
+		}
+	}
+	if !found {
+		t.Fatal("zero-radius query at a particle position missed it")
+	}
+	if got := tr.Neighbors(1e6, 1e6, 1e6, 0, nil); len(got) != 0 {
+		t.Fatalf("zero-radius query far from everything returned %d sources", len(got))
+	}
+}
+
+// TestNeighborsDegenerateTrees: an empty Tree value and a negative
+// radius return the slice unchanged instead of panicking; a
+// single-particle tree answers correctly on both sides of its radius.
+func TestNeighborsDegenerateTrees(t *testing.T) {
+	var empty Tree
+	if got := empty.Neighbors(0, 0, 0, 1, nil); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	seed := []int{7}
+	if got := empty.Neighbors(0, 0, 0, 1, seed); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("empty tree mutated the out slice: %v", got)
+	}
+
+	one, err := Build([]Source{{X: 0.5, Y: 0.5, Z: 0.5, M: 1, Index: 0}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := one.Neighbors(0.5, 0.5, 0.5, 0.1, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-particle hit = %v, want [0]", got)
+	}
+	if got := one.Neighbors(5, 5, 5, 0.1, nil); len(got) != 0 {
+		t.Fatalf("single-particle miss = %v, want empty", got)
+	}
+	if got := one.Neighbors(0.5, 0.5, 0.5, -1, nil); len(got) != 0 {
+		t.Fatalf("negative radius = %v, want empty", got)
+	}
+}

@@ -1,0 +1,352 @@
+package treecode
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/sim"
+)
+
+// drift advances positions ballistically — enough motion to churn keys
+// and octant structure without running a full integrator.
+func drift(s *nbody.System, dt float64) {
+	for i := 0; i < s.N(); i++ {
+		s.X[i] += s.VX[i] * dt
+		s.Y[i] += s.VY[i] * dt
+		s.Z[i] += s.VZ[i] * dt
+	}
+}
+
+// requireSameTree fails unless the two trees are bit-identical:
+// geometry, node array (structure and every float), source order, hash
+// and walk index.
+func requireSameTree(t *testing.T, got, want *Tree, label string) {
+	t.Helper()
+	fb := math.Float64bits
+	if fb(got.Root.CX) != fb(want.Root.CX) || fb(got.Root.CY) != fb(want.Root.CY) ||
+		fb(got.Root.CZ) != fb(want.Root.CZ) || fb(got.Root.Half) != fb(want.Root.Half) {
+		t.Fatalf("%s: root box differs: %+v vs %+v", label, got.Root, want.Root)
+	}
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("%s: %d nodes, want %d", label, len(got.Nodes), len(want.Nodes))
+	}
+	for i := range want.Nodes {
+		g, w := &got.Nodes[i], &want.Nodes[i]
+		if g.Key != w.Key || g.Leaf != w.Leaf || g.First != w.First || g.Count != w.Count ||
+			g.Children != w.Children {
+			t.Fatalf("%s: node %d structure differs:\n got %+v\nwant %+v", label, i, g, w)
+		}
+		same := fb(g.M) == fb(w.M) && fb(g.CX) == fb(w.CX) && fb(g.CY) == fb(w.CY) && fb(g.CZ) == fb(w.CZ) &&
+			fb(g.Box.CX) == fb(w.Box.CX) && fb(g.Box.Half) == fb(w.Box.Half) &&
+			fb(g.QXX) == fb(w.QXX) && fb(g.QYY) == fb(w.QYY) && fb(g.QZZ) == fb(w.QZZ) &&
+			fb(g.QXY) == fb(w.QXY) && fb(g.QXZ) == fb(w.QXZ) && fb(g.QYZ) == fb(w.QYZ)
+		if !same {
+			t.Fatalf("%s: node %d moments differ:\n got %+v\nwant %+v", label, i, g, w)
+		}
+	}
+	if len(got.Sources) != len(want.Sources) {
+		t.Fatalf("%s: %d sources, want %d", label, len(got.Sources), len(want.Sources))
+	}
+	for i := range want.Sources {
+		g, w := got.Sources[i], want.Sources[i]
+		if g.Index != w.Index || fb(g.X) != fb(w.X) || fb(g.Y) != fb(w.Y) || fb(g.Z) != fb(w.Z) || fb(g.M) != fb(w.M) {
+			t.Fatalf("%s: source %d differs: %+v vs %+v", label, i, g, w)
+		}
+	}
+	if len(got.ByKey) != len(want.ByKey) {
+		t.Fatalf("%s: hash has %d entries, want %d", label, len(got.ByKey), len(want.ByKey))
+	}
+	for k, v := range want.ByKey {
+		if gv, ok := got.ByKey[k]; !ok || gv != v {
+			t.Fatalf("%s: hash[%x] = %d,%v, want %d", label, k, gv, ok, v)
+		}
+	}
+	gw, gb, gq := got.walkIndex()
+	ww, wb, wq := want.walkIndex()
+	if len(gw) != len(ww) || len(gq) != len(wq) {
+		t.Fatalf("%s: walk index sizes differ (%d/%d vs %d/%d)", label, len(gw), len(gq), len(ww), len(wq))
+	}
+	for i := range ww {
+		g, w := gw[i], ww[i]
+		if g.skip != w.skip || g.leaf != w.leaf || g.first != w.first || g.count != w.count ||
+			fb(g.cx) != fb(w.cx) || fb(g.cy) != fb(w.cy) || fb(g.cz) != fb(w.cz) ||
+			fb(g.m) != fb(w.m) || fb(g.size2) != fb(w.size2) {
+			t.Fatalf("%s: walk node %d differs: %+v vs %+v", label, i, g, w)
+		}
+		if fb(gb[i].CX) != fb(wb[i].CX) || fb(gb[i].Half) != fb(wb[i].Half) {
+			t.Fatalf("%s: walk box %d differs", label, i)
+		}
+	}
+	for i := range wq {
+		if fb(gq[i]) != fb(wq[i]) {
+			t.Fatalf("%s: walk quad %d differs", label, i)
+		}
+	}
+}
+
+// TestTreeCacheMatchesBuild is the maintainer's core contract: over a
+// sequence of drifting snapshots, Step's tree is bit-identical to a
+// fresh Build at every step — structure, moments, hash and walk index —
+// for monopole and quadrupole trees and across bucket sizes.
+func TestTreeCacheMatchesBuild(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  BuildOptions
+		dt   float64
+	}{
+		{"mono", BuildOptions{}, 0.05},
+		{"quad", BuildOptions{Quadrupole: true}, 0.05},
+		{"bucket4-large-dt", BuildOptions{Bucket: 4}, 0.5},
+		{"workers8", BuildOptions{Workers: 8}, 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := nbody.NewPlummer(3000, 1, 42)
+			c := NewTreeCache()
+			for step := 0; step < 6; step++ {
+				srcs := SourcesFromSystem(s)
+				got, err := c.Step(srcs, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Build(srcs, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameTree(t, got, want, tc.name)
+				if err := got.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				drift(s, tc.dt)
+			}
+			if c.Stats.Steps != 6 || c.Stats.FullBuilds != 1 {
+				t.Fatalf("stats = %+v, want 6 steps with 1 full build", c.Stats)
+			}
+		})
+	}
+}
+
+// TestTreeCacheRadixFallback teleports a third of the particles each
+// step — far beyond the adaptive merge's mover bound — and checks the
+// radix path still lands on Build's exact order.
+func TestTreeCacheRadixFallback(t *testing.T) {
+	s := nbody.NewPlummer(2000, 1, 7)
+	c := NewTreeCache()
+	rng := sim.NewRNG(99)
+	for step := 0; step < 4; step++ {
+		srcs := SourcesFromSystem(s)
+		got, err := c.Step(srcs, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Build(srcs, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameTree(t, got, want, "radix")
+		for i := 0; i < s.N(); i += 3 {
+			s.X[i] = 4*rng.Float64() - 2
+			s.Y[i] = 4*rng.Float64() - 2
+			s.Z[i] = 4*rng.Float64() - 2
+		}
+	}
+	if c.Stats.KeysMoved == 0 {
+		t.Fatal("teleporting particles moved no keys")
+	}
+}
+
+// TestTreeCacheCoincident pins the tie-break identity: coincident
+// particles (equal keys) must sort by input index on both the fresh and
+// the maintained path.
+func TestTreeCacheCoincident(t *testing.T) {
+	s := nbody.NewPlummer(600, 1, 3)
+	// Park clumps of particles on shared positions.
+	for i := 0; i < 100; i++ {
+		j := (i * 7) % s.N()
+		k := (i*13 + 1) % s.N()
+		s.X[j], s.Y[j], s.Z[j] = s.X[k], s.Y[k], s.Z[k]
+	}
+	c := NewTreeCache()
+	for step := 0; step < 3; step++ {
+		srcs := SourcesFromSystem(s)
+		got, err := c.Step(srcs, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Build(srcs, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameTree(t, got, want, "coincident")
+		drift(s, 0.05)
+	}
+}
+
+// TestTreeCacheInvalidation: a source-count or structural-option change
+// falls back to a full build; a worker-width change must NOT (the tree
+// is width-invariant).
+func TestTreeCacheInvalidation(t *testing.T) {
+	s := nbody.NewPlummer(1500, 1, 11)
+	c := NewTreeCache()
+	step := func(s *nbody.System, opt BuildOptions) {
+		t.Helper()
+		if _, err := c.Step(SourcesFromSystem(s), opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(s, BuildOptions{})
+	step(s, BuildOptions{})
+	if c.Stats.FullBuilds != 1 {
+		t.Fatalf("steady steps rebuilt: %+v", c.Stats)
+	}
+	step(s, BuildOptions{Workers: 4}) // width change: no invalidation
+	if c.Stats.FullBuilds != 1 {
+		t.Fatalf("worker change forced a full build: %+v", c.Stats)
+	}
+	step(s, BuildOptions{Bucket: 4}) // structural change
+	if c.Stats.FullBuilds != 2 {
+		t.Fatalf("bucket change did not rebuild: %+v", c.Stats)
+	}
+	step(nbody.NewPlummer(1000, 1, 11), BuildOptions{Bucket: 4}) // n change
+	if c.Stats.FullBuilds != 3 {
+		t.Fatalf("n change did not rebuild: %+v", c.Stats)
+	}
+	step(s, BuildOptions{Bucket: 4, Quadrupole: true}) // moment change
+	if c.Stats.FullBuilds != 4 {
+		t.Fatalf("quadrupole change did not rebuild: %+v", c.Stats)
+	}
+}
+
+// TestTreeCacheCleanStep: with frozen positions the whole structure is
+// clean — no subtree rebuilt, no key moved, hash untouched.
+func TestTreeCacheCleanStep(t *testing.T) {
+	s := nbody.NewPlummer(2000, 1, 5)
+	c := NewTreeCache()
+	if _, err := c.Step(SourcesFromSystem(s), BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(SourcesFromSystem(s), BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Last.CleanSteps != 1 || c.Last.SubtreesRebuilt != 0 || c.Last.KeysMoved != 0 {
+		t.Fatalf("frozen step not clean: %+v", c.Last)
+	}
+	if c.Last.NodesReused != uint64(len(c.Tree().Nodes)) {
+		t.Fatalf("clean step reused %d of %d nodes", c.Last.NodesReused, len(c.Tree().Nodes))
+	}
+}
+
+// TestTreeCacheStepZeroAlloc is the tentpole's steady-state pin: once
+// the cache is warm (buffers sized, walk index live), a maintainer step
+// over a *moving* system — keying, re-sort, patch, hash and walk-index
+// maintenance — performs zero allocations.
+func TestTreeCacheStepZeroAlloc(t *testing.T) {
+	s := nbody.NewPlummer(4000, 1, 13)
+	opt := BuildOptions{Quadrupole: true, Workers: 1}
+	c := NewTreeCache()
+	srcs := SourcesFromSystem(s)
+	// Warm: adopt, force the walk index alive (as a force sweep would),
+	// and run a few moving steps so every buffer reaches steady size.
+	for i := 0; i < 5; i++ {
+		tr, err := c.Step(AppendSources(srcs[:0], s), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.walkIndex()
+		drift(s, 0.02)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		drift(s, 0.02)
+		if _, err := c.Step(AppendSources(srcs[:0], s), opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("maintainer step allocates %.2f times per step, want 0", allocs)
+	}
+}
+
+// TestForcerReuseLeapfrogBitIdentical: the integration contract — a
+// multi-step Leapfrog with the maintainer on is bit-identical to the
+// fresh-build baseline, at worker widths 1, 2 and 8 (CI runs this under
+// -race).
+func TestForcerReuseLeapfrogBitIdentical(t *testing.T) {
+	run := func(mode ReuseMode, w int) *nbody.System {
+		s := nbody.NewPlummer(2000, 1, 12)
+		f := &Forcer{Theta: 0.7, Workers: w, Reuse: mode}
+		if err := s.Leapfrog(f, 0.01, 8); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := run(ReuseOff, 1)
+	for _, w := range []int{1, 2, 8} {
+		got := run(ReuseOn, w)
+		for i := 0; i < ref.N(); i++ {
+			if math.Float64bits(ref.X[i]) != math.Float64bits(got.X[i]) ||
+				math.Float64bits(ref.VX[i]) != math.Float64bits(got.VX[i]) ||
+				math.Float64bits(ref.AX[i]) != math.Float64bits(got.AX[i]) {
+				t.Fatalf("reuse on, workers=%d: particle %d diverged from fresh-build baseline", w, i)
+			}
+		}
+	}
+}
+
+// TestForcerReuseBlockStepBitIdentical: same contract over the block
+// timestep integrator, whose masked ForcesActive calls hit the
+// maintainer many times per base step.
+func TestForcerReuseBlockStepBitIdentical(t *testing.T) {
+	run := func(mode ReuseMode, w int) (*nbody.System, nbody.RungStats) {
+		s := nbody.NewPlummer(2000, 1, 12)
+		f := &Forcer{Theta: 0.7, Workers: w, Reuse: mode}
+		var b nbody.BlockStepper
+		if err := b.Run(s, f, nbody.BlockConfig{DT: 0.05, MaxRung: 4}, 3); err != nil {
+			t.Fatal(err)
+		}
+		return s, b.Stats
+	}
+	ref, refStats := run(ReuseOff, 1)
+	if refStats.MaxRungUsed == 0 {
+		t.Fatal("hierarchy never engaged — the determinism check would be vacuous")
+	}
+	for _, w := range []int{1, 2, 8} {
+		got, gotStats := run(ReuseOn, w)
+		if gotStats != refStats {
+			t.Fatalf("reuse on, workers=%d: rung stats %+v differ from %+v", w, gotStats, refStats)
+		}
+		for i := 0; i < ref.N(); i++ {
+			if math.Float64bits(ref.X[i]) != math.Float64bits(got.X[i]) ||
+				math.Float64bits(ref.VX[i]) != math.Float64bits(got.VX[i]) ||
+				math.Float64bits(ref.AX[i]) != math.Float64bits(got.AX[i]) {
+				t.Fatalf("reuse on, workers=%d: particle %d diverged", w, i)
+			}
+		}
+	}
+}
+
+// TestParseReuseMode pins the flag grammar and the String round trip.
+func TestParseReuseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ReuseMode
+	}{
+		{"", ReuseAuto}, {"auto", ReuseAuto}, {"on", ReuseOn}, {"off", ReuseOff},
+	} {
+		got, err := ParseReuseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseReuseMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseReuseMode("bogus"); err == nil {
+		t.Fatal("ParseReuseMode accepted bogus")
+	}
+	for _, m := range []ReuseMode{ReuseAuto, ReuseOn, ReuseOff} {
+		back, err := ParseReuseMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip %v → %q → %v, %v", m, m.String(), back, err)
+		}
+	}
+	if !ReuseAuto.enabled() || !ReuseOn.enabled() || ReuseOff.enabled() {
+		t.Fatal("enabled() wiring wrong")
+	}
+}

@@ -84,23 +84,9 @@ func Build(sources []Source, opt BuildOptions) (*Tree, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("treecode: no sources")
 	}
-	if opt.Bucket <= 0 {
-		opt.Bucket = 8
-	}
-	if opt.MaxDepth <= 0 {
-		opt.MaxDepth = KeyBits - 1
-	}
-	if opt.MaxDepth >= KeyBits {
-		opt.MaxDepth = KeyBits - 1
-	}
+	opt = normalizeBuildOptions(opt)
 	pool := par.New(opt.Workers)
-	xs := make([]float64, len(sources))
-	ys := make([]float64, len(sources))
-	zs := make([]float64, len(sources))
-	for i, s := range sources {
-		xs[i], ys[i], zs[i] = s.X, s.Y, s.Z
-	}
-	root, err := BoundingBox(xs, ys, zs)
+	root, err := sourceBounds(sources)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +100,11 @@ func Build(sources []Source, opt BuildOptions) (*Tree, error) {
 	}
 	// Sort sources by Morton key. Key generation is embarrassingly
 	// parallel; the sort stays serial (it is not the dominant cost and
-	// serial pdqsort is deterministic).
+	// serial pdqsort is deterministic). Equal keys — coincident or
+	// sub-cell-coincident particles — tie-break on the input index, so
+	// the permutation is the unique (key, index) total order: the same
+	// order the incremental maintainer's stable re-sort reproduces,
+	// which is what keeps a maintained tree bit-identical to Build.
 	keys := make([]Key, len(t.Sources))
 	idx := make([]int, len(t.Sources))
 	pool.For(len(t.Sources), keyGrain, func(lo, hi int) {
@@ -123,7 +113,13 @@ func Build(sources []Source, opt BuildOptions) (*Tree, error) {
 			idx[i] = i
 		}
 	})
-	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return idx[a] < idx[b]
+	})
 	sorted := make([]Source, len(t.Sources))
 	sortedKeys := make([]Key, len(t.Sources))
 	for i, j := range idx {
@@ -513,6 +509,14 @@ type Forcer struct {
 	// GroupWalk is the deprecated PR 5 spelling of Engine = EngineGroup;
 	// it is honoured only when Engine is EngineAuto.
 	GroupWalk bool
+	// Reuse selects incremental tree maintenance across Forces calls
+	// (see TreeCache). The zero value is ReuseAuto: the forcer keeps a
+	// tree maintainer alive, so a one-shot call still pays exactly one
+	// fresh build while multi-step integrations amortize keying,
+	// sorting and node construction — bit-identical to fresh builds
+	// either way. ReuseOff pins the pre-maintainer behaviour (a fresh
+	// Build every call).
+	Reuse ReuseMode
 	// LastStats reports the most recent force computation's work.
 	LastStats Stats
 	// Total accumulates stats across every Forces call on this Forcer
@@ -525,6 +529,11 @@ type Forcer struct {
 	arenas []*WalkArena
 	// groups is the reusable group-walk work list.
 	groups []int32
+	// cache is the persistent tree maintainer (when Reuse enables it)
+	// and srcBuf the reusable source-conversion buffer it reads, so the
+	// steady-state tree refresh allocates nothing.
+	cache  *TreeCache
+	srcBuf []Source
 }
 
 // forceGrain is the per-chunk particle count of the parallel force
@@ -568,13 +577,29 @@ func (f *Forcer) ForcesActive(s *nbody.System, active []bool) error {
 	if theta <= 0 {
 		theta = 0.7
 	}
-	srcs := SourcesFromSystem(s)
+	opt := BuildOptions{Bucket: f.Bucket, Quadrupole: f.Quadrupole, Workers: f.Workers}
 	sp := f.Tracer.Begin(obs.PidHost, 0, "treecode", "build")
-	t, err := Build(srcs, BuildOptions{Bucket: f.Bucket, Quadrupole: f.Quadrupole, Workers: f.Workers})
+	var t *Tree
+	var err error
+	var nsrc int
+	if f.Reuse.enabled() {
+		// Step-aware path: the persistent maintainer refreshes last
+		// step's tree in place — bit-identical to the fresh build below.
+		f.srcBuf = AppendSources(f.srcBuf[:0], s)
+		nsrc = len(f.srcBuf)
+		if f.cache == nil {
+			f.cache = NewTreeCache()
+		}
+		t, err = f.cache.Step(f.srcBuf, opt)
+	} else {
+		srcs := SourcesFromSystem(s)
+		nsrc = len(srcs)
+		t, err = Build(srcs, opt)
+	}
 	if err != nil {
 		return err
 	}
-	sp.End(map[string]any{"sources": len(srcs), "nodes": len(t.Nodes)})
+	sp.End(map[string]any{"sources": nsrc, "nodes": len(t.Nodes)})
 	pool := par.New(f.Workers)
 	n := s.N()
 	// Grow the per-worker arena set to the pool width; arenas that
@@ -708,11 +733,17 @@ func (f *Forcer) dualForces(t *Tree, s *nbody.System, pool *par.Pool, theta floa
 
 // SourcesFromSystem converts a system's particles to sources.
 func SourcesFromSystem(s *nbody.System) []Source {
-	srcs := make([]Source, s.N())
-	for i := range srcs {
-		srcs[i] = Source{X: s.X[i], Y: s.Y[i], Z: s.Z[i], M: s.M[i], Index: i}
+	return AppendSources(make([]Source, 0, s.N()), s)
+}
+
+// AppendSources appends a system's particles to dst and returns it —
+// the reusable-buffer form of SourcesFromSystem the tree maintainer's
+// steady state feeds on (dst[:0] of last step's buffer: no allocation).
+func AppendSources(dst []Source, s *nbody.System) []Source {
+	for i := 0; i < s.N(); i++ {
+		dst = append(dst, Source{X: s.X[i], Y: s.Y[i], Z: s.Z[i], M: s.M[i], Index: i})
 	}
-	return srcs
+	return dst
 }
 
 // CheckInvariants verifies structural and physical invariants: every

@@ -147,10 +147,16 @@ type walkNode struct {
 // outright. Quadrupole moments go to a parallel stride-6 array so the
 // monopole-only hot path stays compact.
 func buildWalkIndex(t *Tree) {
-	wn := make([]walkNode, 0, len(t.Nodes))
-	wb := make([]Box, 0, len(t.Nodes))
-	var wq []float64
-	if t.Quadrupole {
+	// Rebuilds reuse last build's backing arrays (the tree maintainer
+	// calls this after every structural change); a first build, where
+	// the slices are nil, sizes them exactly.
+	wn, wb := t.walk[:0], t.walkB[:0]
+	if cap(wn) < len(t.Nodes) {
+		wn = make([]walkNode, 0, len(t.Nodes))
+		wb = make([]Box, 0, len(t.Nodes))
+	}
+	wq := t.walkQ[:0]
+	if t.Quadrupole && cap(wq) < 6*len(t.Nodes) {
 		wq = make([]float64, 0, 6*len(t.Nodes))
 	}
 	var emit func(ni int32)
